@@ -1,0 +1,262 @@
+package repro
+
+// One benchmark per table and figure of the paper's evaluation. Each
+// benchmark runs a scaled-down version of the corresponding experiment —
+// the full-scale runs live in cmd/faasflow-experiments — so `go test
+// -bench=.` regenerates every result's shape in seconds. The reported
+// ns/op is the real (host) cost of simulating the experiment; the figures'
+// actual metrics are printed once per benchmark via b.Logf.
+
+import (
+	"testing"
+
+	"repro/internal/harness"
+	"repro/internal/metrics"
+)
+
+// BenchmarkFig04SchedulingOverheadMasterSP regenerates Figure 4: the
+// scheduling overhead of the 8 benchmarks under HyperFlow-serverless.
+func BenchmarkFig04SchedulingOverheadMasterSP(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SchedulingOverhead([]harness.System{harness.HyperFlow}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			sci, apps := harness.OverheadAverages(rows, harness.HyperFlow)
+			b.Logf("HyperFlow overhead: sci=%v apps=%v (paper: 712ms / 181.3ms)", sci, apps)
+		}
+	}
+}
+
+// BenchmarkFig05DataMovement regenerates Figure 5: per-invocation data
+// movement, monolithic vs FaaS deployment.
+func BenchmarkFig05DataMovement(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.DataMovement()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				if r.Bench == "Cyc" || r.Bench == "Vid" {
+					b.Logf("%s: %s -> %s (paper: Cyc 23.95->1182.3MB, Vid 4.23->96.82MB)",
+						r.Bench, metrics.MBytes(r.Monolithic), metrics.MBytes(r.FaaS))
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkFig11SchedulingOverheadBoth regenerates Figure 11: scheduling
+// overhead under both patterns.
+func BenchmarkFig11SchedulingOverheadBoth(b *testing.B) {
+	systems := []harness.System{harness.HyperFlow, harness.FaaSFlow}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SchedulingOverhead(systems, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			hs, ha := harness.OverheadAverages(rows, harness.HyperFlow)
+			fs, fa := harness.OverheadAverages(rows, harness.FaaSFlow)
+			red := 1 - (fs.Seconds()+fa.Seconds())/(hs.Seconds()+ha.Seconds())
+			b.Logf("overhead %v/%v -> %v/%v, reduction %s (paper: 74.6%%)",
+				hs, ha, fs, fa, metrics.Pct(red))
+		}
+	}
+}
+
+// BenchmarkTable4TransferLatency regenerates Table 4: total data-movement
+// latency per invocation under HyperFlow-serverless vs FaaSFlow-FaaStore.
+func BenchmarkTable4TransferLatency(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TransferLatency(3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: %v -> %v (%s reduced)", r.Bench, r.HyperFlow, r.FaaStore,
+					metrics.Pct(r.Reduction()))
+			}
+		}
+	}
+}
+
+// BenchmarkFig12BandwidthSweep regenerates Figure 12: Gen and Vid p99
+// across storage bandwidths.
+func BenchmarkFig12BandwidthSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TailLatency([]string{"Gen", "Vid"},
+			[]harness.System{harness.HyperFlow, harness.FaaSFlowFaaStore},
+			[]float64{25, 50, 75, 100}, []float64{6}, 25)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s %s @%.0fMB/s: p99=%v", r.Bench, r.Sys, r.StorageMB, r.P99)
+			}
+		}
+	}
+}
+
+// BenchmarkFig13TailLatency regenerates Figure 13: p99 latency of all 8
+// benchmarks at 50 MB/s and 6 invocations/min.
+func BenchmarkFig13TailLatency(b *testing.B) {
+	names := []string{"Cyc", "Epi", "Gen", "Soy", "Vid", "IR", "FP", "WC"}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.TailLatency(names,
+			[]harness.System{harness.HyperFlow, harness.FaaSFlowFaaStore},
+			[]float64{50}, []float64{6}, 30)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s %s: p99=%v timeouts=%s", r.Bench, r.Sys, r.P99, metrics.Pct(r.Timeouts))
+			}
+		}
+	}
+}
+
+// BenchmarkFig14CoLocation regenerates Figure 14: solo vs co-run
+// degradation of the 8 benchmarks.
+func BenchmarkFig14CoLocation(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.CoLocation([]harness.System{harness.HyperFlow, harness.FaaSFlowFaaStore}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s %s: solo=%v co=%v (%s)", r.Bench, r.Sys, r.Solo, r.CoRun,
+					metrics.Pct(r.Degradation()))
+			}
+		}
+	}
+}
+
+// BenchmarkFig15Distribution regenerates Figure 15: the grouping and
+// scheduling distribution of all 8 benchmarks over the 7 workers.
+func BenchmarkFig15Distribution(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SchedulingDistribution()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("%s: %d groups over %d workers", r.Bench, r.Groups, len(r.PerWorker))
+			}
+		}
+	}
+}
+
+// BenchmarkFig16SchedulerScalability regenerates Figure 16: Graph
+// Scheduler cost versus workflow size (10–200 nodes).
+func BenchmarkFig16SchedulerScalability(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.SchedulerScalability([]int{10, 25, 50, 100, 200}, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("n=%d: %v, %.2fMB alloc", r.Nodes, r.WallTime, float64(r.AllocBytes)/1e6)
+			}
+		}
+	}
+}
+
+// BenchmarkSec57EngineOverhead regenerates the §5.7 component-overhead
+// study: per-engine resource use across cluster sizes.
+func BenchmarkSec57EngineOverhead(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows, err := harness.EngineOverhead([]int{1, 7, 50}, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			for _, r := range rows {
+				b.Logf("workers=%d: master busy %s, worker busy %s",
+					r.Workers, metrics.Pct(r.MasterBusyFrac), metrics.Pct(r.WorkerBusyFrac))
+			}
+		}
+	}
+}
+
+// --- Ablations (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationGroupingVsHash compares Algorithm 1 against hash
+// partitioning on end-to-end latency for the Video benchmark.
+func BenchmarkAblationGroupingVsHash(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		algo, hash, err := harness.AblationGrouping("Vid", 10)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Vid mean latency: Algorithm1=%v hash=%v", algo, hash)
+		}
+	}
+}
+
+// BenchmarkAblationNetworkModel compares the baseline on the paper's
+// shared 50 MB/s storage link against a contention-free link: the gap is
+// what the fair-share bandwidth model contributes.
+func BenchmarkAblationNetworkModel(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		shared, infinite, err := harness.AblationNetwork("Cyc", 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Cyc HyperFlow mean: shared-50MB/s=%v contention-free=%v", shared, infinite)
+		}
+	}
+}
+
+// BenchmarkAblationSequenceVsDAG contrasts DAG execution with the
+// linearized function sequence most vendors support (paper §2.1).
+func BenchmarkAblationSequenceVsDAG(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		dagMean, seqMean, err := harness.SequentialVsDAG("Cyc", 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Cyc mean latency: DAG=%v linearized-sequence=%v", dagMean, seqMean)
+		}
+	}
+}
+
+// BenchmarkAblationQuotaPolicy compares the adaptive reclamation quota
+// (Eq. 1-2) against a tiny fixed quota and an unlimited one.
+func BenchmarkAblationQuotaPolicy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := harness.AblationQuota("Cyc", 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("Cyc mean latency: adaptive=%v tiny=%v unlimited=%v",
+				res.Adaptive, res.Tiny, res.Unlimited)
+		}
+	}
+}

@@ -1,0 +1,45 @@
+// Command faasflow-gateway serves the simulated FaaSFlow cluster over
+// HTTP — the control-plane face of the system (the artifact's proxy).
+//
+//	faasflow-gateway -addr :8080 -workers 7 -faastore
+//
+// Then:
+//
+//	curl -X POST localhost:8080/workflows -d '{"benchmark":"Vid"}'
+//	curl -X POST localhost:8080/workflows/Vid/invoke -d '{"n":100}'
+//	curl localhost:8080/cluster
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+
+	"repro/internal/gateway"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		workers   = flag.Int("workers", 7, "worker node count")
+		storageMB = flag.Float64("storage-bw", 50, "storage bandwidth MB/s")
+		faastore  = flag.Bool("faastore", true, "enable FaaStore")
+		masterSP  = flag.Bool("master", false, "run the MasterSP baseline pattern")
+		seed      = flag.Uint64("seed", 1, "placement seed")
+	)
+	flag.Parse()
+	srv := gateway.New(gateway.Config{
+		Workers:            *workers,
+		StorageBandwidthMB: *storageMB,
+		FaaStore:           *faastore,
+		MasterSP:           *masterSP,
+		Seed:               *seed,
+	})
+	fmt.Printf("faasflow-gateway listening on %s (%d workers, faastore=%v)\n",
+		*addr, *workers, *faastore)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fmt.Fprintln(os.Stderr, "faasflow-gateway:", err)
+		os.Exit(1)
+	}
+}

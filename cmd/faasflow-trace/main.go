@@ -1,0 +1,139 @@
+// Command faasflow-trace works with workflow execution traces: generate a
+// synthetic Pegasus-shaped instance, export one of the built-in paper
+// benchmarks as a trace, or run a trace file through the FaaSFlow engines.
+//
+//	faasflow-trace gen -jobs 50 -seed 7 > genome-like.json
+//	faasflow-trace export -bench Epi > epi.json
+//	faasflow-trace run -file genome-like.json -mode worker -n 50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/engine"
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workloads"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "export":
+		err = cmdExport(os.Args[2:])
+	case "run":
+		err = cmdRun(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasflow-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  faasflow-trace gen    -jobs N [-stages K] [-seed S] [-runtime SEC] [-output BYTES]
+  faasflow-trace export -bench NAME
+  faasflow-trace run    -file TRACE.json [-mode worker|master] [-faastore] [-n N]`)
+	os.Exit(2)
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	jobs := fs.Int("jobs", 50, "job count")
+	stages := fs.Int("stages", 3, "pipeline depth per lane")
+	seed := fs.Uint64("seed", 1, "generator seed")
+	runtime := fs.Float64("runtime", 0.5, "mean job runtime seconds")
+	output := fs.Int64("output", 1<<20, "mean job output bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tr, err := trace.Generate(trace.GenerateOptions{
+		Jobs: *jobs, Stages: *stages, Seed: *seed,
+		MeanRuntime: *runtime, MeanOutput: *output,
+	})
+	if err != nil {
+		return err
+	}
+	data, err := tr.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
+}
+
+func cmdExport(args []string) error {
+	fs := flag.NewFlagSet("export", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark to export (Cyc, Epi, Gen, Soy, Vid, IR, FP, WC)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := workloads.ByName(*bench)
+	if b == nil {
+		return fmt.Errorf("unknown benchmark %q", *bench)
+	}
+	tr, err := trace.FromBenchmark(b)
+	if err != nil {
+		return err
+	}
+	data, err := tr.Marshal()
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(append(data, '\n'))
+	return err
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	file := fs.String("file", "", "trace JSON file")
+	mode := fs.String("mode", "worker", "worker or master")
+	faastore := fs.Bool("faastore", true, "enable FaaStore")
+	n := fs.Int("n", 50, "closed-loop invocations")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("missing -file")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	tr, err := trace.Parse(data)
+	if err != nil {
+		return err
+	}
+	b, err := tr.ToBenchmark()
+	if err != nil {
+		return err
+	}
+	m := engine.ModeWorkerSP
+	if *mode == "master" {
+		m = engine.ModeMasterSP
+	} else if *mode != "worker" {
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	tb := harness.NewTestbed(harness.ClusterSpec{FaaStore: *faastore})
+	d, err := tb.Deploy(b, engine.Options{Mode: m, Data: engine.DataStore})
+	if err != nil {
+		return err
+	}
+	rec := harness.ClosedLoop(tb.Env, d.Engine, 1, *n)
+	local, total := d.Placement.LocalityBytes(b.Graph)
+	fmt.Printf("trace %s: %d jobs, %d groups, %.0f%% payload local\n",
+		tr.Name, len(tr.Jobs), len(d.Placement.Groups), 100*float64(local)/float64(total+1))
+	fmt.Printf("%d invocations (%s): mean=%v p50=%v p99=%v\n",
+		rec.Count(), m, rec.Mean(), rec.Percentile(0.5), rec.P99())
+	return nil
+}

@@ -1,0 +1,64 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseExecSpecs(t *testing.T) {
+	fns, err := parseExecSpecs("fa=0.2, fb=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fns["fa"].ExecSeconds != 0.2 || fns["fb"].ExecSeconds != 1.5 {
+		t.Fatalf("fns = %+v", fns)
+	}
+	if fns, err := parseExecSpecs(""); err != nil || len(fns) != 0 {
+		t.Fatal("empty spec should give empty map")
+	}
+	for _, bad := range []string{"fa", "fa=abc", "=1"} {
+		if _, err := parseExecSpecs(bad); err == nil {
+			t.Errorf("parseExecSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestParseArgs(t *testing.T) {
+	args, err := parseArgs("q=1080,tier=premium, flag=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if args["q"] != 1080.0 {
+		t.Fatalf("q = %#v, want float 1080", args["q"])
+	}
+	if args["tier"] != "premium" {
+		t.Fatalf("tier = %#v", args["tier"])
+	}
+	if args["flag"] != 2.5 {
+		t.Fatalf("flag = %#v", args["flag"])
+	}
+	if args, err := parseArgs(""); err != nil || args != nil {
+		t.Fatal("empty args should be nil (run all branches)")
+	}
+	for _, bad := range []string{"novalue", "=x"} {
+		if _, err := parseArgs(bad); err == nil {
+			t.Errorf("parseArgs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadWorkflowValidation(t *testing.T) {
+	if _, err := loadWorkflow("", "", ""); err == nil {
+		t.Error("no source accepted")
+	}
+	if _, err := loadWorkflow("Vid", "x.yaml", ""); err == nil || !strings.Contains(err.Error(), "not both") {
+		t.Error("both sources accepted")
+	}
+	if _, err := loadWorkflow("nope", "", ""); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	wf, err := loadWorkflow("Epi", "", "")
+	if err != nil || wf.Name() != "Epi" {
+		t.Fatalf("loadWorkflow(Epi) = %v, %v", wf, err)
+	}
+}

@@ -1,0 +1,109 @@
+// Command wdlcheck validates a Workflow Definition Language file and dumps
+// the compiled DAG: nodes, edges, payloads, and the partition a default
+// 7-worker cluster would produce.
+//
+//	wdlcheck pipeline.yaml
+//	wdlcheck -json pipeline.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/scheduler"
+	"repro/internal/wdl"
+)
+
+func main() {
+	asJSON := flag.Bool("json", false, "input is JSON rather than WDL YAML")
+	asDOT := flag.Bool("dot", false, "emit the compiled DAG as Graphviz dot and exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: wdlcheck [-json] <workflow file>")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdlcheck:", err)
+		os.Exit(1)
+	}
+	var wf *wdl.Workflow
+	if *asJSON {
+		wf, err = wdl.ParseJSON(src)
+	} else {
+		wf, err = wdl.Parse(string(src))
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdlcheck:", err)
+		os.Exit(1)
+	}
+	g := wf.Graph
+	if *asDOT {
+		fmt.Print(g.DOT())
+		return
+	}
+	fmt.Printf("workflow %q: %d nodes (%d tasks), %d edges, %.2f MB per invocation\n",
+		wf.Name, g.Len(), g.TaskCount(), g.NumEdges(), float64(g.TotalBytes())/1e6)
+
+	fmt.Println("\nnodes:")
+	for _, n := range g.Nodes() {
+		kind := "task"
+		detail := "fn=" + n.Function
+		if n.Kind == dag.KindVirtual {
+			kind = "virt"
+			detail = ""
+		}
+		if n.Group != "" {
+			detail += " group=" + n.Group
+		}
+		if n.Foreach {
+			detail += fmt.Sprintf(" foreach(width=%d)", n.Width)
+		}
+		fmt.Printf("  [%2d] %-4s %-24s %s\n", n.ID, kind, n.Name, detail)
+	}
+
+	fmt.Println("\nedges:")
+	for _, e := range g.Edges() {
+		fmt.Printf("  %s -> %s  (%.2f MB)\n", g.Node(e.From).Name, g.Node(e.To).Name, float64(e.Bytes)/1e6)
+	}
+
+	if len(wf.Conditions) > 0 {
+		fmt.Println("\nswitch conditions:")
+		for step, conds := range wf.Conditions {
+			for i, c := range conds {
+				fmt.Printf("  %s[%d]: %s\n", step, i, c)
+			}
+		}
+	}
+
+	workers := []string{"w0", "w1", "w2", "w3", "w4", "w5", "w6"}
+	place, err := scheduler.Schedule(scheduler.Input{
+		Graph:   g,
+		Workers: workers,
+		Cap:     map[string]int{"w0": 64, "w1": 64, "w2": 64, "w3": 64, "w4": 64, "w5": 64, "w6": 64},
+		Quota:   1 << 40,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wdlcheck: partition:", err)
+		os.Exit(1)
+	}
+	local, total := place.LocalityBytes(g)
+	fmt.Printf("\npartition (7 workers): %d groups, %.0f%% of payload bytes worker-local\n",
+		len(place.Groups), pct(local, total))
+	for i, grp := range place.Groups {
+		fmt.Printf("  group %d on %s (demand %.0f):", i, grp.Worker, grp.Demand)
+		for _, id := range grp.Nodes {
+			fmt.Printf(" %s", g.Node(id).Name)
+		}
+		fmt.Println()
+	}
+}
+
+func pct(a, b int64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * float64(a) / float64(b)
+}

@@ -1,0 +1,10 @@
+// Package repro is the root of the FaaSFlow reproduction (ASPLOS 2022).
+//
+// The public API lives in repro/faasflow; the substrates (simulation
+// kernel, network fabric, cluster/container model, storage, scheduler,
+// engines, workloads, experiment harness) live under repro/internal.
+// bench_test.go in this directory holds one benchmark per paper table and
+// figure; run them with:
+//
+//	go test -bench=Fig -benchmem .
+package repro

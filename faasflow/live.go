@@ -1,0 +1,55 @@
+package faasflow
+
+import (
+	"context"
+
+	"repro/internal/live"
+)
+
+// LiveInput is one resolved data dependency handed to a live handler.
+type LiveInput = live.Input
+
+// LiveHandler executes one task invocation for real: it receives the
+// upstream outputs as byte payloads and returns its own.
+type LiveHandler = live.Handler
+
+// LiveOptions tunes a live runner.
+type LiveOptions struct {
+	// Parallelism caps concurrently running handlers (0 = unlimited).
+	Parallelism int
+	// MaxAttempts retries failing handlers (default 1).
+	MaxAttempts int
+}
+
+// LiveRunner executes a workflow's DAG with real Go handlers and real
+// data — the embeddable-engine face of the library, next to the simulated
+// cluster. Triggering follows the same WorkerSP discipline as the
+// simulation engine: each completing node fires its ready successors
+// itself, with no central loop.
+type LiveRunner struct {
+	inner *live.Runner
+}
+
+// NewLiveRunner builds a live runner for the workflow. handlers maps each
+// function name the workflow references to its implementation.
+func NewLiveRunner(wf *Workflow, handlers map[string]LiveHandler, opts LiveOptions) (*LiveRunner, error) {
+	r, err := live.New(wf.bench.Graph, handlers, live.Options{
+		Parallelism: opts.Parallelism,
+		MaxAttempts: opts.MaxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &LiveRunner{inner: r}, nil
+}
+
+// Run executes the workflow once and returns each sink step's output
+// (foreach sinks appear as "name#replica"). Concurrent Runs are
+// independent.
+func (r *LiveRunner) Run(ctx context.Context) (map[string][]byte, error) {
+	res, err := r.inner.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return res.Outputs, nil
+}

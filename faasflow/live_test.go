@@ -1,0 +1,80 @@
+package faasflow
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+func TestLiveRunnerEndToEnd(t *testing.T) {
+	wf, err := NewWorkflow("pipeline").
+		Function("double", 0.01, 0).
+		Function("sum", 0.01, 0).
+		Task("a", "double", 0).
+		Task("b", "double", 0).
+		Task("total", "sum", 0).
+		Pipe("a", "total").
+		Pipe("b", "total").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	handlers := map[string]LiveHandler{
+		"double": func(ctx context.Context, replica int, inputs []LiveInput) ([]byte, error) {
+			return []byte{42}, nil
+		},
+		"sum": func(ctx context.Context, replica int, inputs []LiveInput) ([]byte, error) {
+			var s byte
+			for _, in := range inputs {
+				s += in.Data[0]
+			}
+			return []byte{s}, nil
+		},
+	}
+	r, err := NewLiveRunner(wf, handlers, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := out["total"]; len(got) != 1 || got[0] != 84 {
+		t.Fatalf("total = %v, want [84]", got)
+	}
+}
+
+func TestLiveRunnerMissingHandler(t *testing.T) {
+	wf, err := NewWorkflow("x").
+		Function("f", 0.01, 0).
+		Task("a", "f", 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewLiveRunner(wf, map[string]LiveHandler{}, LiveOptions{}); err == nil {
+		t.Fatal("missing handler accepted")
+	}
+}
+
+func TestLiveRunnerErrorPropagates(t *testing.T) {
+	wf, err := NewWorkflow("x").
+		Function("f", 0.01, 0).
+		Task("a", "f", 0).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("boom")
+	r, err := NewLiveRunner(wf, map[string]LiveHandler{
+		"f": func(ctx context.Context, replica int, inputs []LiveInput) ([]byte, error) {
+			return nil, boom
+		},
+	}, LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}

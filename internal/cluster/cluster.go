@@ -1,0 +1,398 @@
+// Package cluster models worker nodes and their function containers: the
+// compute substrate under both workflow engines.
+//
+// Each Node has a fixed core count and DRAM. Function invocations acquire a
+// container (reusing a warm one, cold-starting a new one, or queueing when
+// the per-function scale limit or node memory is exhausted — paper Table 3:
+// 1-core/256 MB containers, 600 s lifetime, at most 10 containers per
+// function per node) and then execute on the node's cores under processor
+// sharing: when more containers compute than cores exist, everyone slows
+// down proportionally, which is what makes co-location interference (paper
+// §5.5) visible.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Config fixes a node's hardware and container policy. The defaults mirror
+// the paper's Table 3 testbed.
+type Config struct {
+	Cores        int           // physical cores per node
+	DRAM         int64         // bytes of node memory
+	ContainerMem int64         // memory limit per container
+	ColdStart    time.Duration // container cold-start latency
+	KeepAlive    time.Duration // idle container lifetime
+	PerFnLimit   int           // max containers per function on this node
+}
+
+// DefaultConfig returns the paper's worker configuration: 8 cores, 32 GB
+// DRAM, 1-core 256 MB containers with a 600 s lifetime and a limit of 10
+// containers per function per node.
+func DefaultConfig() Config {
+	return Config{
+		Cores:        8,
+		DRAM:         32 << 30,
+		ContainerMem: 256 << 20,
+		ColdStart:    400 * time.Millisecond,
+		KeepAlive:    600 * time.Second,
+		PerFnLimit:   10,
+	}
+}
+
+// Validate reports configuration mistakes.
+func (c Config) Validate() error {
+	switch {
+	case c.Cores <= 0:
+		return fmt.Errorf("cluster: Cores = %d, must be positive", c.Cores)
+	case c.DRAM <= 0:
+		return fmt.Errorf("cluster: DRAM = %d, must be positive", c.DRAM)
+	case c.ContainerMem <= 0:
+		return fmt.Errorf("cluster: ContainerMem = %d, must be positive", c.ContainerMem)
+	case c.ContainerMem > c.DRAM:
+		return fmt.Errorf("cluster: container memory %d exceeds DRAM %d", c.ContainerMem, c.DRAM)
+	case c.PerFnLimit <= 0:
+		return fmt.Errorf("cluster: PerFnLimit = %d, must be positive", c.PerFnLimit)
+	}
+	return nil
+}
+
+// Container is one warm or running function sandbox.
+type Container struct {
+	Fn   string
+	Node *Node
+	id   int
+
+	idle   bool
+	expiry *sim.Event
+}
+
+// Node is one worker machine.
+type Node struct {
+	id  string
+	env *sim.Env
+	cfg Config
+
+	pools      map[string]*fnPool
+	containers int   // total live containers
+	memUsed    int64 // bytes held by live containers
+	reclaimed  int64 // bytes handed to FaaStore (excluded from container use)
+
+	// Processor-sharing CPU state.
+	running map[*cpuTask]struct{}
+
+	stats NodeStats
+}
+
+// NodeStats aggregates a node's lifetime counters.
+type NodeStats struct {
+	ColdStarts     int64
+	WarmReuses     int64
+	Evictions      int64
+	QueuedWaits    int64
+	CPUBusy        time.Duration // integrated core-busy time
+	PeakMem        int64
+	PeakConcurrent int
+}
+
+type fnPool struct {
+	warm    []*Container
+	total   int // warm + busy containers for this function
+	peak    int
+	waiting []func(*Container, bool)
+	nextID  int
+}
+
+type cpuTask struct {
+	remaining float64 // CPU-seconds of work left
+	rate      float64 // current share of one core (0..1]
+	updatedAt sim.Time
+	finish    *sim.Event
+	done      func()
+}
+
+// NewNode creates a worker node. The id must match the node's fabric ID so
+// engines and stores agree on placement.
+func NewNode(env *sim.Env, id string, cfg Config) *Node {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Node{
+		id:      id,
+		env:     env,
+		cfg:     cfg,
+		pools:   map[string]*fnPool{},
+		running: map[*cpuTask]struct{}{},
+	}
+}
+
+// ID reports the node's identifier.
+func (n *Node) ID() string { return n.id }
+
+// Config reports the node's configuration.
+func (n *Node) Config() Config { return n.cfg }
+
+// Stats returns a snapshot of lifetime counters.
+func (n *Node) Stats() NodeStats {
+	n.settleCPU()
+	return n.stats
+}
+
+// MemUsed reports bytes currently held by containers.
+func (n *Node) MemUsed() int64 { return n.memUsed }
+
+// Containers reports the number of live containers.
+func (n *Node) Containers() int { return n.containers }
+
+// WarmContainers reports idle warm containers for a function.
+func (n *Node) WarmContainers(fn string) int {
+	if p := n.pools[fn]; p != nil {
+		return len(p.warm)
+	}
+	return 0
+}
+
+// ScaleOf reports the current and peak container count for a function —
+// the runtime feedback behind the paper's Scale(v) metric.
+func (n *Node) ScaleOf(fn string) (current, peak int) {
+	if p := n.pools[fn]; p != nil {
+		return p.total, p.peak
+	}
+	return 0, 0
+}
+
+// Capacity reports how many more containers this node can host, limited by
+// DRAM not yet reserved by containers or reclaimed by FaaStore. This is the
+// Cap[node] input to the grouping algorithm.
+func (n *Node) Capacity() int {
+	free := n.cfg.DRAM - n.memUsed - n.reclaimed
+	if free < 0 {
+		return 0
+	}
+	return int(free / n.cfg.ContainerMem)
+}
+
+// Reclaim transfers bytes of node DRAM to FaaStore's in-memory store
+// (positive) or returns them (negative). It fails when the node cannot
+// cover the request with free memory.
+func (n *Node) Reclaim(bytes int64) error {
+	if bytes > 0 && n.cfg.DRAM-n.memUsed-n.reclaimed < bytes {
+		return fmt.Errorf("cluster: node %s cannot reclaim %d bytes (%d free)",
+			n.id, bytes, n.cfg.DRAM-n.memUsed-n.reclaimed)
+	}
+	if n.reclaimed+bytes < 0 {
+		return fmt.Errorf("cluster: node %s returning %d bytes but only %d reclaimed",
+			n.id, -bytes, n.reclaimed)
+	}
+	n.reclaimed += bytes
+	return nil
+}
+
+// Reclaimed reports bytes currently lent to FaaStore.
+func (n *Node) Reclaimed() int64 { return n.reclaimed }
+
+// Acquire obtains a container for fn, calling ready with the container and
+// whether the acquisition was a cold start. Warm reuse completes on the
+// next event tick; cold start pays Config.ColdStart; when the function is
+// at its scale limit or the node is out of memory, the request queues until
+// a container frees up.
+func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
+	if ready == nil {
+		panic("cluster: Acquire with nil callback")
+	}
+	p := n.pools[fn]
+	if p == nil {
+		p = &fnPool{}
+		n.pools[fn] = p
+	}
+	// Warm container available: reuse it.
+	if len(p.warm) > 0 {
+		c := p.warm[len(p.warm)-1]
+		p.warm = p.warm[:len(p.warm)-1]
+		c.idle = false
+		if c.expiry != nil {
+			c.expiry.Cancel()
+			c.expiry = nil
+		}
+		n.stats.WarmReuses++
+		n.env.Schedule(0, func() { ready(c, false) })
+		return
+	}
+	// Room to create a new container?
+	if p.total < n.cfg.PerFnLimit && n.memUsed+n.cfg.ContainerMem+n.reclaimed <= n.cfg.DRAM {
+		p.total++
+		if p.total > p.peak {
+			p.peak = p.total
+		}
+		n.containers++
+		n.memUsed += n.cfg.ContainerMem
+		if n.memUsed > n.stats.PeakMem {
+			n.stats.PeakMem = n.memUsed
+		}
+		n.stats.ColdStarts++
+		c := &Container{Fn: fn, Node: n, id: p.nextID}
+		p.nextID++
+		n.env.Schedule(n.cfg.ColdStart, func() { ready(c, true) })
+		return
+	}
+	// Saturated: wait for a release.
+	n.stats.QueuedWaits++
+	p.waiting = append(p.waiting, ready)
+}
+
+// Prewarm creates up to count warm containers for fn ahead of traffic (the
+// §7 prewarm-pool strategy). It reports how many were actually created —
+// fewer when the per-function limit or node memory intervenes. Prewarmed
+// containers pay the cold start now, sit warm, and age out after the
+// keep-alive window like any other.
+func (n *Node) Prewarm(fn string, count int) int {
+	created := 0
+	for i := 0; i < count; i++ {
+		p := n.pools[fn]
+		if p == nil {
+			p = &fnPool{}
+			n.pools[fn] = p
+		}
+		if p.total >= n.cfg.PerFnLimit || n.memUsed+n.cfg.ContainerMem+n.reclaimed > n.cfg.DRAM {
+			break
+		}
+		created++
+		n.Acquire(fn, func(c *Container, cold bool) { n.Release(c) })
+	}
+	return created
+}
+
+// Release returns a container after an invocation. If requests are queued
+// for the function, the container is handed over immediately; otherwise it
+// goes warm and expires after the keep-alive window.
+func (n *Node) Release(c *Container) {
+	if c.Node != n {
+		panic(fmt.Sprintf("cluster: releasing container of node %s on node %s", c.Node.id, n.id))
+	}
+	p := n.pools[c.Fn]
+	if len(p.waiting) > 0 {
+		next := p.waiting[0]
+		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+		n.env.Schedule(0, func() { next(c, false) })
+		n.stats.WarmReuses++
+		return
+	}
+	c.idle = true
+	p.warm = append(p.warm, c)
+	c.expiry = n.env.Schedule(n.cfg.KeepAlive, func() { n.evict(c) })
+}
+
+// Destroy removes a container immediately (red-black recycling of
+// out-of-date sub-graph versions).
+func (n *Node) Destroy(c *Container) {
+	if c.expiry != nil {
+		c.expiry.Cancel()
+		c.expiry = nil
+	}
+	p := n.pools[c.Fn]
+	if c.idle {
+		for i, w := range p.warm {
+			if w == c {
+				p.warm = append(p.warm[:i], p.warm[i+1:]...)
+				break
+			}
+		}
+	}
+	n.freeContainer(c)
+}
+
+func (n *Node) evict(c *Container) {
+	if !c.idle {
+		return // re-acquired before expiry fired (defensive; Acquire cancels)
+	}
+	p := n.pools[c.Fn]
+	for i, w := range p.warm {
+		if w == c {
+			p.warm = append(p.warm[:i], p.warm[i+1:]...)
+			break
+		}
+	}
+	n.stats.Evictions++
+	n.freeContainer(c)
+}
+
+func (n *Node) freeContainer(c *Container) {
+	p := n.pools[c.Fn]
+	p.total--
+	n.containers--
+	n.memUsed -= n.cfg.ContainerMem
+}
+
+// Exec runs cpuSeconds of compute under processor sharing and calls done
+// when finished. With k tasks on c cores each task advances at min(1, c/k)
+// core-rate, so contention stretches everyone.
+func (n *Node) Exec(cpuSeconds float64, done func()) {
+	if cpuSeconds < 0 {
+		panic("cluster: negative execution time")
+	}
+	if done == nil {
+		done = func() {}
+	}
+	n.settleCPU()
+	t := &cpuTask{remaining: cpuSeconds, updatedAt: n.env.Now(), done: done}
+	n.running[t] = struct{}{}
+	if len(n.running) > n.stats.PeakConcurrent {
+		n.stats.PeakConcurrent = len(n.running)
+	}
+	n.rescheduleCPU()
+}
+
+// RunningTasks reports how many Exec calls are in flight.
+func (n *Node) RunningTasks() int { return len(n.running) }
+
+// settleCPU advances all running tasks to the current instant at their old
+// rates, integrating core-busy time, and cancels their finish events.
+func (n *Node) settleCPU() {
+	now := n.env.Now()
+	for t := range n.running {
+		elapsed := (now - t.updatedAt).Duration().Seconds()
+		if elapsed > 0 {
+			work := t.rate * elapsed
+			if work > t.remaining {
+				work = t.remaining
+			}
+			t.remaining -= work
+			n.stats.CPUBusy += time.Duration(work * float64(time.Second))
+		}
+		t.updatedAt = now
+		if t.finish != nil {
+			t.finish.Cancel()
+			t.finish = nil
+		}
+	}
+}
+
+// rescheduleCPU assigns equal shares and schedules every task's finish.
+func (n *Node) rescheduleCPU() {
+	k := len(n.running)
+	if k == 0 {
+		return
+	}
+	rate := 1.0
+	if k > n.cfg.Cores {
+		rate = float64(n.cfg.Cores) / float64(k)
+	}
+	for t := range n.running {
+		t.rate = rate
+		t := t
+		secs := t.remaining / rate
+		t.finish = n.env.Schedule(time.Duration(secs*float64(time.Second))+1, func() {
+			n.finishTask(t)
+		})
+	}
+}
+
+func (n *Node) finishTask(t *cpuTask) {
+	n.settleCPU()
+	delete(n.running, t)
+	n.rescheduleCPU()
+	t.done()
+}

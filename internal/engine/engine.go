@@ -1,0 +1,678 @@
+// Package engine executes workflow invocations under the paper's two
+// scheduling patterns:
+//
+//   - ModeWorkerSP — FaaSFlow's worker-side pattern (§3, §4.2): each worker
+//     runs a decentralized engine holding the Workflow/State/FunctionInfo
+//     structures for its sub-graph. Functions trigger locally; only state
+//     updates cross the network, and only when an edge spans workers.
+//   - ModeMasterSP — the HyperFlow-serverless baseline (§2.2): a central
+//     engine on the master node holds all state, assigns every ready task
+//     to its worker over the network, and collects every completion.
+//
+// Both patterns run over the same simulated substrate (cluster nodes,
+// network fabric, FaaStore hybrid storage), so measured differences come
+// from the pattern itself — the paper's experimental design.
+//
+// Engine processing is serialized per engine instance, mirroring the
+// single-threaded gevent loops of the artifact: a busy master delays every
+// trigger decision, which is exactly the overhead WorkerSP removes.
+package engine
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/store"
+	"repro/internal/workloads"
+)
+
+// Mode selects the scheduling pattern.
+type Mode int
+
+const (
+	// ModeWorkerSP triggers functions on worker-local engines (FaaSFlow).
+	ModeWorkerSP Mode = iota
+	// ModeMasterSP triggers functions from the central master engine
+	// (HyperFlow-serverless).
+	ModeMasterSP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeWorkerSP:
+		return "WorkerSP"
+	case ModeMasterSP:
+		return "MasterSP"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// DataMode selects whether function payloads move through storage.
+type DataMode int
+
+const (
+	// DataNone packs all inputs into the container image (the paper's
+	// §2.3/§5.2 methodology for isolating scheduling overhead).
+	DataNone DataMode = iota
+	// DataStore moves every edge payload through FaaStore / the remote DB.
+	DataStore
+)
+
+// Options tunes engine cost constants. Zero values take defaults.
+type Options struct {
+	Mode Mode
+	Data DataMode
+	// MasterProc is the master engine's per-event processing time (event
+	// parsing, trigger-condition checks, task marshalling).
+	MasterProc time.Duration
+	// WorkerProc is a worker engine's per-event processing time.
+	WorkerProc time.Duration
+	// StateMsgBytes is the size of a cross-worker state-update message.
+	StateMsgBytes int64
+	// AssignMsgBytes is the size of a MasterSP task-assignment message.
+	AssignMsgBytes int64
+	// NoJitter disables the ±15% per-task execution-time variation. The
+	// scheduling-overhead experiments (§5.2) use it: they compare
+	// end-to-end latency against the critical path's nominal execution
+	// time, so run-to-run compute variance would read as overhead.
+	NoJitter bool
+	// FailureRate injects container crashes: each executor attempt fails
+	// with this probability (deterministically, per attempt). Crashed
+	// containers are destroyed and the attempt retried up to MaxAttempts.
+	FailureRate float64
+	// MaxAttempts bounds executor attempts when FailureRate > 0
+	// (default 3). An executor that exhausts its attempts marks the
+	// invocation failed; the failure propagates like a skip so the
+	// workflow drains instead of hanging.
+	MaxAttempts int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MasterProc == 0 {
+		o.MasterProc = 11 * time.Millisecond
+	}
+	if o.WorkerProc == 0 {
+		o.WorkerProc = 1500 * time.Microsecond
+	}
+	if o.StateMsgBytes == 0 {
+		o.StateMsgBytes = 256
+	}
+	if o.AssignMsgBytes == 0 {
+		o.AssignMsgBytes = 1024
+	}
+	if o.FailureRate > 0 && o.MaxAttempts == 0 {
+		o.MaxAttempts = 3
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 1
+	}
+	return o
+}
+
+// Runtime bundles the shared substrate a deployment executes on.
+type Runtime struct {
+	Env    *sim.Env
+	Fabric *network.Fabric
+	Nodes  map[string]*cluster.Node
+	Store  *store.Hybrid
+	// Master is the fabric ID of the master/storage node.
+	Master string
+}
+
+// proc is a serialized event processor: one engine's single-threaded loop.
+type proc struct {
+	env       *sim.Env
+	cost      time.Duration
+	busyUntil sim.Time
+	busy      time.Duration // cumulative processing time
+	events    int64
+}
+
+func (p *proc) process(fn func()) {
+	start := p.env.Now()
+	if p.busyUntil > start {
+		start = p.busyUntil
+	}
+	p.busyUntil = start + sim.Time(p.cost)
+	p.busy += p.cost
+	p.events++
+	p.env.At(p.busyUntil, fn)
+}
+
+// EngineStats reports one engine loop's lifetime counters (§5.7).
+type EngineStats struct {
+	Events int64
+	Busy   time.Duration
+}
+
+// Memory-model constants for the §5.7 accounting: a worker engine costs a
+// fixed base (runtime, sockets, code) plus per-sub-graph Workflow
+// structures (FunctionInfo) and per-live-invocation State objects. The
+// base matches the paper's measured ~47 MB engine footprint; the dynamic
+// terms are what the paper's "runtime recycling of the memory invocations"
+// reclaims at invocation end.
+const (
+	engineBaseBytes    = 40 << 20
+	perNodeStaticBytes = 512 // FunctionInfo: name, successors, addresses
+	perNodeStateBytes  = 64  // State: counters + liveness flags
+)
+
+// MemoryModel estimates one engine's resident memory given its sub-graph
+// size and current live invocations.
+func MemoryModel(nodes, liveInvocations int) int64 {
+	return engineBaseBytes +
+		int64(nodes)*perNodeStaticBytes +
+		int64(nodes)*int64(liveInvocations)*perNodeStateBytes
+}
+
+// input is one resolved data dependency: the key(s) written by a producing
+// task's out-edge, possibly reached through virtual markers. A foreach
+// producer of width W writes W replicas, all of which the consumer reads.
+type input struct {
+	edgeIdx  int
+	bytes    int64
+	replicas int // producer's data-plane width
+}
+
+// output is one task out-edge with its effective consumer set.
+type output struct {
+	edgeIdx   int
+	bytes     int64
+	consumers []dag.NodeID // effective consuming tasks
+}
+
+// Deployment is one workflow deployed onto the runtime under a placement.
+type Deployment struct {
+	rt    *Runtime
+	bench *workloads.Benchmark
+	place map[dag.NodeID]string
+	opts  Options
+
+	g        *dag.Graph
+	sinks    []dag.NodeID
+	sources  []dag.NodeID
+	inputs   map[dag.NodeID][]input
+	outputs  map[dag.NodeID][]output
+	critExec float64
+	// conds maps edge index -> compiled switch condition; nodes with any
+	// conditional out-edge are runtime switches. A stamped-but-empty
+	// condition (not in this map) is the default branch.
+	conds      map[int]*expr.Expr
+	switchNode map[dag.NodeID]bool
+	condErrors int64
+	crashCount int64
+	retryCount int64
+
+	master  *proc
+	workers map[string]*proc
+	tracer  *Tracer
+
+	nextInv  int64
+	liveNow  int
+	peakLive int
+	version  int // red-black deployment version
+	// liveByVersion counts in-flight invocations per deployment version so
+	// out-of-date versions can be recycled once drained.
+	liveByVersion map[int]int
+}
+
+// NewDeployment validates and precomputes a workflow deployment. place must
+// assign every graph node to a runtime worker node.
+func NewDeployment(rt *Runtime, bench *workloads.Benchmark, place map[dag.NodeID]string, opts Options) (*Deployment, error) {
+	if err := bench.Validate(); err != nil {
+		return nil, err
+	}
+	g := bench.Graph
+	for _, n := range g.Nodes() {
+		w, ok := place[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("engine: node %q has no placement", n.Name)
+		}
+		if _, ok := rt.Nodes[w]; !ok {
+			return nil, fmt.Errorf("engine: node %q placed on unknown worker %q", n.Name, w)
+		}
+	}
+	d := &Deployment{
+		rt:            rt,
+		bench:         bench,
+		place:         place,
+		opts:          opts.withDefaults(),
+		g:             g,
+		sinks:         g.Sinks(),
+		sources:       g.Sources(),
+		inputs:        map[dag.NodeID][]input{},
+		outputs:       map[dag.NodeID][]output{},
+		master:        &proc{env: rt.Env, cost: opts.withDefaults().MasterProc},
+		workers:       map[string]*proc{},
+		liveByVersion: map[int]int{},
+	}
+	for w := range rt.Nodes {
+		d.workers[w] = &proc{env: rt.Env, cost: d.opts.WorkerProc}
+	}
+	d.conds = map[int]*expr.Expr{}
+	d.switchNode = map[dag.NodeID]bool{}
+	for i, e := range g.Edges() {
+		if e.Cond == "" {
+			continue
+		}
+		compiled, err := expr.Compile(e.Cond)
+		if err != nil {
+			return nil, fmt.Errorf("engine: edge %d condition: %w", i, err)
+		}
+		d.conds[i] = compiled
+		d.switchNode[e.From] = true
+	}
+	d.resolveDataflow()
+	_, d.critExec, _ = g.CriticalPath(func(n dag.Node) float64 {
+		if n.Kind != dag.KindTask {
+			return 0
+		}
+		return bench.Functions[n.Function].ExecSeconds
+	})
+	return d, nil
+}
+
+// resolveDataflow computes, for every task, which edge keys it reads and
+// which it writes — resolving through virtual markers: a task consuming
+// from a virtual node actually reads the keys written by the tasks
+// upstream of that marker, and a task writing toward a virtual node serves
+// every task downstream of it.
+func (d *Deployment) resolveDataflow() {
+	edges := d.g.Edges()
+	// taskConsumers finds the effective consuming tasks past node x.
+	var taskConsumers func(x dag.NodeID, seen map[dag.NodeID]bool) []dag.NodeID
+	taskConsumers = func(x dag.NodeID, seen map[dag.NodeID]bool) []dag.NodeID {
+		if d.g.Node(x).Kind == dag.KindTask {
+			return []dag.NodeID{x}
+		}
+		var out []dag.NodeID
+		for _, s := range d.g.Succs(x) {
+			if seen[s] {
+				continue
+			}
+			seen[s] = true
+			out = append(out, taskConsumers(s, seen)...)
+		}
+		return out
+	}
+	for i, e := range edges {
+		if d.g.Node(e.From).Kind != dag.KindTask {
+			continue // virtual-out edges signal; data was keyed upstream
+		}
+		consumers := taskConsumers(e.To, map[dag.NodeID]bool{})
+		d.outputs[e.From] = append(d.outputs[e.From], output{
+			edgeIdx:   i,
+			bytes:     e.Bytes,
+			consumers: consumers,
+		})
+		width := d.g.Node(e.From).Width
+		for _, c := range consumers {
+			d.inputs[c] = append(d.inputs[c], input{edgeIdx: i, bytes: e.Bytes, replicas: width})
+		}
+	}
+}
+
+// CriticalExecSeconds reports the summed execution time of the critical
+// path — the quantity the paper subtracts from end-to-end latency to get
+// scheduling overhead (§2.3).
+func (d *Deployment) CriticalExecSeconds() float64 { return d.critExec }
+
+// MasterStats reports the master engine loop's counters.
+func (d *Deployment) MasterStats() EngineStats {
+	return EngineStats{Events: d.master.events, Busy: d.master.busy}
+}
+
+// WorkerStats reports a worker engine loop's counters.
+func (d *Deployment) WorkerStats(worker string) EngineStats {
+	p, ok := d.workers[worker]
+	if !ok {
+		return EngineStats{}
+	}
+	return EngineStats{Events: p.events, Busy: p.busy}
+}
+
+// Placement returns the node→worker map in use.
+func (d *Deployment) Placement() map[dag.NodeID]string { return d.place }
+
+// PeakLiveInvocations reports the maximum concurrent invocations seen.
+func (d *Deployment) PeakLiveInvocations() int { return d.peakLive }
+
+// EngineMemory estimates a worker engine's peak resident memory for this
+// deployment (paper §5.7): base footprint + Workflow structures for the
+// sub-graph nodes placed there + State for the peak live invocations.
+func (d *Deployment) EngineMemory(worker string) int64 {
+	nodes := 0
+	for _, w := range d.place {
+		if w == worker {
+			nodes++
+		}
+	}
+	return MemoryModel(nodes, d.peakLive)
+}
+
+// Redeploy switches to a new placement (red-black: version bumps, new
+// invocations use the new sub-graphs, and each old version's warm
+// containers are recycled when its in-flight invocations drain — here the
+// drain bookkeeping is per-version counts; container recycling happens via
+// the pools' keep-alive).
+func (d *Deployment) Redeploy(place map[dag.NodeID]string) error {
+	for _, n := range d.g.Nodes() {
+		w, ok := place[n.ID]
+		if !ok {
+			return fmt.Errorf("engine: node %q has no placement", n.Name)
+		}
+		if _, ok := d.rt.Nodes[w]; !ok {
+			return fmt.Errorf("engine: node %q placed on unknown worker %q", n.Name, w)
+		}
+	}
+	d.place = place
+	d.version++
+	return nil
+}
+
+// Version reports the current red-black deployment version.
+func (d *Deployment) Version() int { return d.version }
+
+// LiveInvocations reports in-flight invocations for a version.
+func (d *Deployment) LiveInvocations(version int) int { return d.liveByVersion[version] }
+
+// Result describes one completed invocation.
+type Result struct {
+	ID      int64
+	Start   sim.Time
+	End     sim.Time
+	Version int
+	// Failed reports that at least one executor exhausted its retry
+	// budget; downstream work was drained rather than executed.
+	Failed bool
+}
+
+// Latency reports the end-to-end invocation latency.
+func (r Result) Latency() time.Duration { return (r.End - r.Start).Duration() }
+
+// invocation tracks one in-flight workflow run.
+type invocation struct {
+	id        int64
+	version   int
+	place     map[dag.NodeID]string
+	start     sim.Time
+	args      expr.Env
+	failed    bool
+	predsDone []int
+	realIn    []int // non-skipped predecessor completions
+	started   []bool
+	sinksLeft int
+	done      func(Result)
+	keys      []string
+}
+
+// skippedOutEdges decides which of a completed node's out-edges deliver a
+// skip instead of a real state update. Without invocation arguments every
+// branch runs (the paper's behaviour: containers are provisioned for all
+// switch branches); with arguments, the first branch whose condition holds
+// — or the first unconditional default — is taken and the rest skip.
+// Evaluation errors skip the branch and are counted.
+func (d *Deployment) skippedOutEdges(inv *invocation, id dag.NodeID) map[int]bool {
+	if inv.args == nil || !d.switchNode[id] {
+		return nil
+	}
+	skipped := map[int]bool{}
+	taken := false
+	for _, ei := range d.g.OutEdges(id) {
+		compiled, conditional := d.conds[ei]
+		if !conditional && d.g.Edges()[ei].Cond == "" {
+			// Part of a switch (the node has conditional siblings) with no
+			// condition of its own: a default branch.
+			if taken {
+				skipped[ei] = true
+			} else {
+				taken = true
+			}
+			continue
+		}
+		if taken {
+			skipped[ei] = true
+			continue
+		}
+		ok, err := compiled.EvalBool(inv.args)
+		if err != nil {
+			d.condErrors++
+			skipped[ei] = true
+			continue
+		}
+		if ok {
+			taken = true
+		} else {
+			skipped[ei] = true
+		}
+	}
+	return skipped
+}
+
+// CondErrors reports how many switch conditions failed to evaluate.
+func (d *Deployment) CondErrors() int64 { return d.condErrors }
+
+// execJitter perturbs a task's execution time by ±15%, deterministically
+// per (invocation, node): real functions are not clockwork, and the
+// variation staggers the transfer bursts that parallel stages emit.
+func execJitter(invID int64, node dag.NodeID) float64 {
+	r := sim.NewRand(uint64(invID)<<20 ^ uint64(node) ^ 0x9e3779b9)
+	return 0.85 + 0.3*r.Float64()
+}
+
+func (d *Deployment) key(inv *invocation, edgeIdx, replica int) string {
+	return fmt.Sprintf("%s/%d/e%d.%d", d.bench.Name, inv.id, edgeIdx, replica)
+}
+
+// Invoke starts one workflow invocation; done fires when every sink has
+// completed, after which the invocation's intermediate data is released
+// (the paper's per-invocation State cleanup).
+func (d *Deployment) Invoke(done func(Result)) {
+	d.InvokeArgs(nil, done)
+}
+
+// InvokeArgs starts an invocation carrying input arguments; switch steps
+// evaluate their branch conditions against them and run only the matching
+// branch. With nil args every branch runs.
+func (d *Deployment) InvokeArgs(args map[string]any, done func(Result)) {
+	if done == nil {
+		done = func(Result) {}
+	}
+	var env expr.Env
+	if args != nil {
+		env = expr.Env(args)
+	}
+	inv := &invocation{
+		id:        d.nextInv,
+		version:   d.version,
+		place:     d.place,
+		start:     d.rt.Env.Now(),
+		args:      env,
+		predsDone: make([]int, d.g.Len()),
+		realIn:    make([]int, d.g.Len()),
+		started:   make([]bool, d.g.Len()),
+		sinksLeft: len(d.sinks),
+		done:      done,
+	}
+	d.nextInv++
+	d.liveByVersion[inv.version]++
+	d.liveNow++
+	if d.liveNow > d.peakLive {
+		d.peakLive = d.liveNow
+	}
+	switch d.opts.Mode {
+	case ModeWorkerSP:
+		d.invokeWorkerSP(inv)
+	case ModeMasterSP:
+		d.invokeMasterSP(inv)
+	default:
+		panic(fmt.Sprintf("engine: unknown mode %v", d.opts.Mode))
+	}
+}
+
+func (d *Deployment) finishInvocation(inv *invocation) {
+	d.liveByVersion[inv.version]--
+	d.liveNow--
+	if d.liveByVersion[inv.version] == 0 && inv.version != d.version {
+		delete(d.liveByVersion, inv.version) // out-of-date version drained
+	}
+	for _, k := range inv.keys {
+		d.rt.Store.Delete(k)
+	}
+	inv.done(Result{ID: inv.id, Start: inv.start, End: d.rt.Env.Now(), Version: inv.version, Failed: inv.failed})
+}
+
+// ---------------------------------------------------------------------------
+// Task body shared by both patterns: container acquire → input fetch →
+// execute → output store → release.
+
+// runTask executes one control-plane node. A plain task is one container
+// acquire → input fetch → execute → output store → release. A foreach node
+// of width W maps to W data-plane executors (the paper's Map(v)): each
+// acquires its own container, fetches the full inputs, executes once, and
+// writes its own output replica; the node completes when all executors do.
+func (d *Deployment) runTask(inv *invocation, id dag.NodeID, onDone func(failed bool)) {
+	node := d.g.Node(id)
+	if node.Kind == dag.KindVirtual {
+		// Virtual markers complete instantly; they exist for atomicity and
+		// trigger bookkeeping only.
+		d.rt.Env.Schedule(0, func() { onDone(false) })
+		return
+	}
+	width := node.Width
+	pending := width
+	anyFailed := false
+	for replica := 0; replica < width; replica++ {
+		d.runExecutor(inv, id, replica, 1, func(failed bool) {
+			if failed {
+				anyFailed = true
+			}
+			pending--
+			if pending == 0 {
+				onDone(anyFailed)
+			}
+		})
+	}
+}
+
+func (d *Deployment) runExecutor(inv *invocation, id dag.NodeID, replica, attempt int, onDone func(failed bool)) {
+	node := d.g.Node(id)
+	workerID := inv.place[id]
+	w := d.rt.Nodes[workerID]
+	spec := d.bench.Functions[node.Function]
+	exec := spec.ExecSeconds
+	if !d.opts.NoJitter {
+		exec *= execJitter(inv.id, id+dag.NodeID(replica)<<16)
+	}
+	acquireStart := d.rt.Env.Now()
+	w.Acquire(node.Function, func(c *cluster.Container, cold bool) {
+		d.span(inv, id, replica, "acquire", acquireStart)
+		fetchStart := d.rt.Env.Now()
+		d.fetchInputs(inv, id, workerID, func() {
+			d.span(inv, id, replica, "fetch", fetchStart)
+			execStart := d.rt.Env.Now()
+			w.Exec(exec, func() {
+				d.span(inv, id, replica, "exec", execStart)
+				if d.crashes(inv, id, replica, attempt) {
+					// The container dies mid-flight: destroy it (no warm
+					// reuse of crashed sandboxes) and retry or give up.
+					w.Destroy(c)
+					d.crashCount++
+					if attempt < d.opts.MaxAttempts {
+						d.retryCount++
+						d.runExecutor(inv, id, replica, attempt+1, onDone)
+						return
+					}
+					inv.failed = true
+					onDone(true) // drains like a skip: no outputs written
+					return
+				}
+				storeStart := d.rt.Env.Now()
+				d.storeOutputs(inv, id, replica, workerID, func() {
+					d.span(inv, id, replica, "store", storeStart)
+					w.Release(c)
+					onDone(false)
+				})
+			})
+		})
+	})
+}
+
+// crashes decides deterministically whether this attempt fails.
+func (d *Deployment) crashes(inv *invocation, id dag.NodeID, replica, attempt int) bool {
+	if d.opts.FailureRate <= 0 {
+		return false
+	}
+	r := sim.NewRand(uint64(inv.id)<<32 ^ uint64(id)<<16 ^ uint64(replica)<<8 ^ uint64(attempt) ^ 0xdeadbeef)
+	return r.Float64() < d.opts.FailureRate
+}
+
+// Crashes reports injected container crashes so far.
+func (d *Deployment) Crashes() int64 { return d.crashCount }
+
+// Retries reports executor retry attempts so far.
+func (d *Deployment) Retries() int64 { return d.retryCount }
+
+// fetchInputs downloads the task's input keys one after another: a single
+// container's runtime fetches its inputs sequentially, which is what keeps
+// the aggregate store load linear in bytes rather than quadratic in
+// concurrent edges. Concurrency across containers is still unbounded.
+func (d *Deployment) fetchInputs(inv *invocation, id dag.NodeID, workerID string, next func()) {
+	if d.opts.Data == DataNone {
+		next()
+		return
+	}
+	ins := d.inputs[id]
+	i, rep := 0, 0
+	var step func()
+	step = func() {
+		if i == len(ins) {
+			next()
+			return
+		}
+		in := ins[i]
+		k := d.key(inv, in.edgeIdx, rep)
+		rep++
+		if rep >= in.replicas {
+			i++
+			rep = 0
+		}
+		d.rt.Store.Get(workerID, k, func(int64, bool) { step() })
+	}
+	step()
+}
+
+// storeOutputs uploads the task's output keys sequentially (one container,
+// one upload stream), choosing per edge between local memory and the
+// remote store based on the consumers' placement.
+func (d *Deployment) storeOutputs(inv *invocation, id dag.NodeID, replica int, workerID string, next func()) {
+	if d.opts.Data == DataNone {
+		next()
+		return
+	}
+	outs := d.outputs[id]
+	i := 0
+	var step func()
+	step = func() {
+		if i == len(outs) {
+			next()
+			return
+		}
+		out := outs[i]
+		i++
+		consumers := make([]string, len(out.consumers))
+		for j, c := range out.consumers {
+			consumers[j] = inv.place[c]
+		}
+		k := d.key(inv, out.edgeIdx, replica)
+		inv.keys = append(inv.keys, k)
+		d.rt.Store.Put(workerID, k, out.bytes, consumers, func(store.Location) { step() })
+	}
+	step()
+}

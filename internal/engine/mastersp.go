@@ -1,0 +1,85 @@
+package engine
+
+import "repro/internal/dag"
+
+// This file implements the MasterSP baseline (paper §2.2, Figure 3):
+// HyperFlow-serverless. The central engine on the master node owns all
+// workflow state. Every ready task is marshalled into an assignment
+// message and sent to its worker; every completion returns to the master,
+// which re-evaluates trigger conditions. Because the engine loop is
+// serial, every one of these events queues behind the others — the
+// scheduling overhead the paper measures in Figures 4 and 11.
+//
+// Switch skips resolve centrally: the master never dispatches a skipped
+// node, it just forwards the skip through its state table.
+
+func (d *Deployment) invokeMasterSP(inv *invocation) {
+	d.master.process(func() {
+		for _, src := range d.sources {
+			d.mspAssign(inv, src)
+		}
+	})
+}
+
+// mspAssign dispatches a ready node. It must be called from master engine
+// context (inside a master.process callback).
+func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID) {
+	if inv.started[id] {
+		return
+	}
+	inv.started[id] = true
+	if d.g.Node(id).Kind == dag.KindVirtual {
+		// Virtual markers are bookkeeping the master resolves itself.
+		d.master.process(func() { d.mspComplete(inv, id, false) })
+		return
+	}
+	w := inv.place[id]
+	// Marshalling the task into an assignment is itself a serialized slot
+	// of the master's event loop.
+	d.master.process(func() {
+		d.rt.Fabric.SendMsg(d.rt.Master, w, d.opts.AssignMsgBytes, func() {
+			// The worker-side executor proxy accepts the task...
+			d.workers[w].process(func() {
+				d.runTask(inv, id, func(failed bool) {
+					// ...and returns the execution state to the master.
+					d.rt.Fabric.SendMsg(w, d.rt.Master, d.opts.StateMsgBytes, func() {
+						d.master.process(func() { d.mspComplete(inv, id, failed) })
+					})
+				})
+			})
+		})
+	})
+}
+
+// mspComplete updates central state after id finished (or was skipped) and
+// assigns any successors whose predecessors are all resolved. Master
+// engine context.
+func (d *Deployment) mspComplete(inv *invocation, id dag.NodeID, nodeSkipped bool) {
+	if d.g.OutDegree(id) == 0 {
+		inv.sinksLeft--
+		if inv.sinksLeft == 0 {
+			d.finishInvocation(inv)
+		}
+		return
+	}
+	skipped := d.skippedOutEdges(inv, id)
+	for _, ei := range d.g.OutEdges(id) {
+		succ := d.g.Edges()[ei].To
+		skip := nodeSkipped || skipped[ei]
+		inv.predsDone[succ]++
+		if !skip {
+			inv.realIn[succ]++
+		}
+		if inv.predsDone[succ] == d.g.InDegree(succ) {
+			if inv.realIn[succ] == 0 {
+				if !inv.started[succ] {
+					inv.started[succ] = true
+					succ := succ
+					d.master.process(func() { d.mspComplete(inv, succ, true) })
+				}
+				continue
+			}
+			d.mspAssign(inv, succ)
+		}
+	}
+}

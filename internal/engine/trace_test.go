@@ -1,0 +1,157 @@
+package engine
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/network"
+)
+
+func TestTracerRecordsAllPhases(t *testing.T) {
+	rt := rig(2, network.MBps(50))
+	b := miniBench()
+	d, err := NewDeployment(rt, b, placeRoundRobin(b, "w0", "w1"), Options{Mode: ModeWorkerSP, Data: DataStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	d.SetTracer(tr)
+	run(t, rt, d)
+	// 4 tasks x 4 phases.
+	if tr.Len() != 16 {
+		t.Fatalf("events = %d, want 16", tr.Len())
+	}
+	phases := map[string]int{}
+	for _, e := range tr.Events() {
+		phases[e.Phase]++
+		if e.End < e.Start {
+			t.Fatalf("negative span: %+v", e)
+		}
+		if e.Worker != "w0" && e.Worker != "w1" {
+			t.Fatalf("unknown worker %q", e.Worker)
+		}
+	}
+	for _, p := range []string{"acquire", "fetch", "exec", "store"} {
+		if phases[p] != 4 {
+			t.Fatalf("phase %s count = %d, want 4", p, phases[p])
+		}
+	}
+}
+
+func TestTracerEventsOrdered(t *testing.T) {
+	rt := rig(1, network.MBps(50))
+	b := miniBench()
+	d, err := NewDeployment(rt, b, placeAll(b, "w0"), Options{Mode: ModeWorkerSP, Data: DataStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	d.SetTracer(tr)
+	run(t, rt, d)
+	evs := tr.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].Start {
+			t.Fatal("Events() not chronologically sorted")
+		}
+	}
+	// Source task "a" phases must run in order acquire->fetch->exec->store.
+	var aPhases []string
+	for _, e := range evs {
+		if e.Node == "a" {
+			aPhases = append(aPhases, e.Phase)
+		}
+	}
+	want := []string{"acquire", "fetch", "exec", "store"}
+	if len(aPhases) != 4 {
+		t.Fatalf("a phases = %v", aPhases)
+	}
+	for i := range want {
+		if aPhases[i] != want[i] {
+			t.Fatalf("a phases = %v, want %v", aPhases, want)
+		}
+	}
+}
+
+func TestTracerChromeJSON(t *testing.T) {
+	rt := rig(2, network.MBps(50))
+	b := miniBench()
+	d, err := NewDeployment(rt, b, placeRoundRobin(b, "w0", "w1"), Options{Mode: ModeMasterSP, Data: DataStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	d.SetTracer(tr)
+	run(t, rt, d)
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatalf("invalid trace JSON: %v", err)
+	}
+	if len(parsed) != tr.Len() {
+		t.Fatalf("JSON events = %d, want %d", len(parsed), tr.Len())
+	}
+	ev := parsed[0]
+	for _, key := range []string{"name", "ph", "ts", "dur", "pid", "tid"} {
+		if _, ok := ev[key]; !ok {
+			t.Fatalf("event missing %q: %v", key, ev)
+		}
+	}
+	if ev["ph"] != "X" {
+		t.Fatalf("ph = %v, want X", ev["ph"])
+	}
+}
+
+func TestTracerForeachReplicaNames(t *testing.T) {
+	rt := rig(1, network.MBps(50))
+	b := VideoLike()
+	// Mark the middle nodes as foreach width 2 to exercise replica naming.
+	for _, n := range b.Graph.Nodes() {
+		if strings.HasPrefix(n.Name, "m") {
+			b.Graph.SetWidth(n.ID, 2)
+			b.Graph.MarkForeach(n.ID)
+		}
+	}
+	d, err := NewDeployment(rt, b, placeAll(b, "w0"), Options{Mode: ModeWorkerSP, Data: DataStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTracer()
+	d.SetTracer(tr)
+	run(t, rt, d)
+	replicas := map[string]bool{}
+	for _, e := range tr.Events() {
+		if strings.Contains(e.Node, "#") {
+			replicas[e.Node] = true
+		}
+	}
+	if !replicas["m0#0"] || !replicas["m0#1"] {
+		t.Fatalf("foreach replica spans missing: %v", replicas)
+	}
+}
+
+func TestTracerReset(t *testing.T) {
+	tr := NewTracer()
+	tr.add(TraceEvent{Node: "x"})
+	tr.Reset()
+	if tr.Len() != 0 {
+		t.Fatal("Reset did not clear")
+	}
+}
+
+func TestNoTracerNoOverhead(t *testing.T) {
+	rt := rig(1, network.MBps(50))
+	b := miniBench()
+	d, err := NewDeployment(rt, b, placeAll(b, "w0"), Options{Mode: ModeWorkerSP, Data: DataStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No tracer attached: must run exactly as before.
+	res := run(t, rt, d)
+	if res.Latency() <= 0 {
+		t.Fatal("run without tracer broken")
+	}
+}

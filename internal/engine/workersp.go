@@ -1,0 +1,96 @@
+package engine
+
+import "repro/internal/dag"
+
+// This file implements the WorkerSP pattern (paper §3.1, Figure 6): each
+// worker's engine maintains State (predecessors-done counters) for its
+// local sub-graph and triggers functions locally. Completions propagate as
+// state-update messages — an inner RPC when the successor lives on the
+// same worker, a cross-worker TCP message otherwise. The master appears
+// only twice per invocation: delivering the invocation to the source
+// nodes' workers and collecting sink completions.
+//
+// Switch steps add a skip wave: a state update is either "done" or
+// "skipped"; a node whose predecessors all completed but none for real is
+// itself skipped — it runs nothing and forwards the skip.
+
+func (d *Deployment) invokeWorkerSP(inv *invocation) {
+	// The client's request lands at the master/gateway, which notifies the
+	// worker hosting each source node of the new InvocationID.
+	d.master.process(func() {
+		for _, src := range d.sources {
+			src := src
+			w := inv.place[src]
+			d.rt.Fabric.SendMsg(d.rt.Master, w, d.opts.AssignMsgBytes, func() {
+				d.wspTrigger(inv, src)
+			})
+		}
+	})
+}
+
+// wspTrigger runs on the engine of the worker hosting id, whose trigger
+// condition is already satisfied.
+func (d *Deployment) wspTrigger(inv *invocation, id dag.NodeID) {
+	w := inv.place[id]
+	d.workers[w].process(func() {
+		if inv.started[id] {
+			return
+		}
+		inv.started[id] = true
+		d.runTask(inv, id, func(failed bool) { d.wspComplete(inv, id, failed) })
+	})
+}
+
+// wspComplete records id's completion (or skip) on its local engine and
+// propagates the state to every successor's engine.
+func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped bool) {
+	w := inv.place[id]
+	d.workers[w].process(func() {
+		if d.g.OutDegree(id) == 0 {
+			// A sink: report completion to the master, which finishes the
+			// invocation when all sinks have reported. Skipped sinks count
+			// too — the workflow is done when nothing remains to run.
+			d.rt.Fabric.SendMsg(w, d.rt.Master, d.opts.StateMsgBytes, func() {
+				d.master.process(func() {
+					inv.sinksLeft--
+					if inv.sinksLeft == 0 {
+						d.finishInvocation(inv)
+					}
+				})
+			})
+			return
+		}
+		skipped := d.skippedOutEdges(inv, id)
+		for _, ei := range d.g.OutEdges(id) {
+			succ := d.g.Edges()[ei].To
+			skip := nodeSkipped || skipped[ei]
+			// Same worker → inner RPC (loopback); different worker →
+			// cross-node TCP. The fabric models both through SendMsg.
+			d.rt.Fabric.SendMsg(w, inv.place[succ], d.opts.StateMsgBytes, func() {
+				d.wspStateArrive(inv, succ, skip)
+			})
+		}
+	})
+}
+
+// wspStateArrive applies one predecessor update on the successor's engine
+// and triggers it once PredecessorsDone reaches PredecessorsCount. When
+// every predecessor completion was a skip, the node is skipped in turn.
+func (d *Deployment) wspStateArrive(inv *invocation, succ dag.NodeID, skip bool) {
+	sw := inv.place[succ]
+	d.workers[sw].process(func() {
+		inv.predsDone[succ]++
+		if !skip {
+			inv.realIn[succ]++
+		}
+		if inv.predsDone[succ] == d.g.InDegree(succ) && !inv.started[succ] {
+			inv.started[succ] = true
+			if inv.realIn[succ] == 0 {
+				// Entirely skipped: forward the skip without executing.
+				d.wspComplete(inv, succ, true)
+				return
+			}
+			d.runTask(inv, succ, func(failed bool) { d.wspComplete(inv, succ, failed) })
+		}
+	})
+}

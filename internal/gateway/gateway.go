@@ -1,0 +1,301 @@
+// Package gateway exposes the FaaSFlow cluster as an HTTP service — the
+// role the artifact's proxy plays: users upload workflow definitions, send
+// invocations, and read placement and latency statistics over REST.
+//
+//	POST /workflows            {"name", "wdl", "functions": {...}}  deploy
+//	GET  /workflows            list deployed workflows
+//	GET  /workflows/{name}     placement, groups, locality
+//	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
+//	GET  /benchmarks           the built-in paper workloads
+//	GET  /cluster              cumulative utilization counters
+//
+// The simulation is single-threaded, so the handler serializes requests;
+// for the simulated substrate this is a modeling property, not a
+// bottleneck (a full evaluation sweep takes seconds).
+package gateway
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/faasflow"
+)
+
+// Server is the HTTP control plane over one simulated cluster.
+type Server struct {
+	mu      sync.Mutex
+	cluster *faasflow.Cluster
+	mode    faasflow.Mode
+	apps    map[string]*faasflow.App
+	wfs     map[string]*faasflow.Workflow
+}
+
+// Config selects the cluster the server manages.
+type Config struct {
+	Workers            int
+	StorageBandwidthMB float64
+	FaaStore           bool
+	MasterSP           bool // run the HyperFlow-serverless baseline pattern
+	Seed               uint64
+}
+
+// New builds a server with a fresh cluster.
+func New(cfg Config) *Server {
+	var opts []faasflow.Option
+	if cfg.Workers > 0 {
+		opts = append(opts, faasflow.WithWorkers(cfg.Workers))
+	}
+	if cfg.StorageBandwidthMB > 0 {
+		opts = append(opts, faasflow.WithStorageBandwidthMBps(cfg.StorageBandwidthMB))
+	}
+	opts = append(opts, faasflow.WithFaaStore(cfg.FaaStore), faasflow.WithSeed(cfg.Seed))
+	mode := faasflow.WorkerSP
+	if cfg.MasterSP {
+		mode = faasflow.MasterSP
+	}
+	return &Server{
+		cluster: faasflow.NewCluster(opts...),
+		mode:    mode,
+		apps:    map[string]*faasflow.App{},
+		wfs:     map[string]*faasflow.Workflow{},
+	}
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/workflows", s.handleWorkflows)
+	mux.HandleFunc("/workflows/", s.handleWorkflow)
+	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("/cluster", s.handleCluster)
+	return mux
+}
+
+type httpError struct {
+	status int
+	msg    string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func fail(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	if he, ok := err.(*httpError); ok {
+		status = he.status
+	}
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// deployRequest is the POST /workflows body.
+type deployRequest struct {
+	Name string `json:"name"`
+	// WDL is the workflow definition (YAML). Alternatively Benchmark names
+	// a built-in paper workload.
+	WDL       string `json:"wdl,omitempty"`
+	Benchmark string `json:"benchmark,omitempty"`
+	// Functions maps function name -> cost model (required with WDL).
+	Functions map[string]struct {
+		ExecSeconds float64 `json:"execSeconds"`
+		MemPeak     int64   `json:"memPeak,omitempty"`
+	} `json:"functions,omitempty"`
+}
+
+// workflowInfo is the GET /workflows/{name} response.
+type workflowInfo struct {
+	Name             string            `json:"name"`
+	Tasks            int               `json:"tasks"`
+	TotalBytes       int64             `json:"totalBytes"`
+	Groups           int               `json:"groups"`
+	LocalizedPercent float64           `json:"localizedPercent"`
+	Placement        map[string]string `json:"placement"`
+}
+
+func (s *Server) handleWorkflows(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch r.Method {
+	case http.MethodGet:
+		names := make([]string, 0, len(s.apps))
+		for name := range s.apps {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		writeJSON(w, http.StatusOK, names)
+	case http.MethodPost:
+		var req deployRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			fail(w, &httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+			return
+		}
+		info, err := s.deploy(req)
+		if err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusCreated, info)
+	default:
+		fail(w, &httpError{http.StatusMethodNotAllowed, "use GET or POST"})
+	}
+}
+
+func (s *Server) deploy(req deployRequest) (*workflowInfo, error) {
+	var wf *faasflow.Workflow
+	switch {
+	case req.Benchmark != "":
+		wf = faasflow.Benchmark(req.Benchmark)
+		if wf == nil {
+			return nil, &httpError{http.StatusNotFound, fmt.Sprintf("unknown benchmark %q", req.Benchmark)}
+		}
+	case req.WDL != "":
+		fns := map[string]faasflow.FunctionSpec{}
+		for name, f := range req.Functions {
+			fns[name] = faasflow.FunctionSpec{ExecSeconds: f.ExecSeconds, MemPeak: f.MemPeak}
+		}
+		var err error
+		wf, err = faasflow.WorkflowFromWDL(req.WDL, fns)
+		if err != nil {
+			return nil, &httpError{http.StatusBadRequest, err.Error()}
+		}
+	default:
+		return nil, &httpError{http.StatusBadRequest, "provide wdl or benchmark"}
+	}
+	name := req.Name
+	if name == "" {
+		name = wf.Name()
+	}
+	if _, dup := s.apps[name]; dup {
+		return nil, &httpError{http.StatusConflict, fmt.Sprintf("workflow %q already deployed", name)}
+	}
+	app, err := s.cluster.Deploy(wf, s.mode)
+	if err != nil {
+		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
+	}
+	s.apps[name] = app
+	s.wfs[name] = wf
+	return s.info(name), nil
+}
+
+func (s *Server) info(name string) *workflowInfo {
+	app, wf := s.apps[name], s.wfs[name]
+	return &workflowInfo{
+		Name:             name,
+		Tasks:            wf.Tasks(),
+		TotalBytes:       wf.TotalBytes(),
+		Groups:           app.Groups(),
+		LocalizedPercent: app.LocalizedFraction() * 100,
+		Placement:        app.Placement(),
+	}
+}
+
+// invokeRequest is the POST /workflows/{name}/invoke body.
+type invokeRequest struct {
+	N             int            `json:"n"`
+	RatePerMinute float64        `json:"ratePerMinute,omitempty"` // 0 = closed loop
+	Args          map[string]any `json:"args,omitempty"`
+}
+
+// invokeResponse reports run statistics.
+type invokeResponse struct {
+	Count       int     `json:"count"`
+	MeanMs      float64 `json:"meanMs"`
+	P50Ms       float64 `json:"p50Ms"`
+	P99Ms       float64 `json:"p99Ms"`
+	MaxMs       float64 `json:"maxMs"`
+	TimeoutRate float64 `json:"timeoutRate"`
+}
+
+func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rest := strings.TrimPrefix(r.URL.Path, "/workflows/")
+	name, action, _ := strings.Cut(rest, "/")
+	app, ok := s.apps[name]
+	if !ok {
+		fail(w, &httpError{http.StatusNotFound, fmt.Sprintf("workflow %q not deployed", name)})
+		return
+	}
+	switch {
+	case action == "" && r.Method == http.MethodGet:
+		writeJSON(w, http.StatusOK, s.info(name))
+	case action == "invoke" && r.Method == http.MethodPost:
+		var req invokeRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			fail(w, &httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+			return
+		}
+		if req.N <= 0 {
+			req.N = 1
+		}
+		if req.N > 100000 {
+			fail(w, &httpError{http.StatusBadRequest, "n too large"})
+			return
+		}
+		var stats faasflow.Stats
+		switch {
+		case req.RatePerMinute > 0:
+			stats = app.RunOpenLoop(req.RatePerMinute, req.N)
+		case req.Args != nil:
+			stats = app.RunWithArgs(req.Args, req.N)
+		default:
+			stats = app.Run(req.N)
+		}
+		writeJSON(w, http.StatusOK, invokeResponse{
+			Count:       stats.Count,
+			MeanMs:      ms(stats.Mean),
+			P50Ms:       ms(stats.P50),
+			P99Ms:       ms(stats.P99),
+			MaxMs:       ms(stats.Max),
+			TimeoutRate: stats.Timeouts,
+		})
+	default:
+		fail(w, &httpError{http.StatusMethodNotAllowed, "unknown action"})
+	}
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		fail(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+		return
+	}
+	type bench struct {
+		Name  string `json:"name"`
+		Tasks int    `json:"tasks"`
+	}
+	var out []bench
+	for _, wf := range faasflow.Benchmarks() {
+		out = append(out, bench{Name: wf.Name(), Tasks: wf.Tasks()})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		fail(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+		return
+	}
+	s.mu.Lock()
+	u := s.cluster.Utilization()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"containers":     u.Containers,
+		"coldStarts":     u.ColdStarts,
+		"warmReuses":     u.WarmReuses,
+		"cpuBusyMs":      ms(u.CPUBusy),
+		"networkBytes":   u.NetworkBytes,
+		"storeLocalHits": u.StoreLocalHits,
+		"storeRemoteOps": u.StoreRemoteOps,
+	})
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

@@ -1,0 +1,264 @@
+package gateway
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(Config{Workers: 3, FaaStore: true, Seed: 1}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func doJSON(t *testing.T, method, url string, body any, out any) int {
+	t.Helper()
+	var buf bytes.Buffer
+	if body != nil {
+		if err := json.NewEncoder(&buf).Encode(body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	req, err := http.NewRequest(method, url, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s %s: %v", method, url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+const gatewayWDL = `
+name: etl
+steps:
+  - name: extract
+    function: extract
+    output: 1048576
+  - name: load
+    function: load
+`
+
+func deployETL(t *testing.T, srv *httptest.Server) {
+	t.Helper()
+	req := map[string]any{
+		"wdl": gatewayWDL,
+		"functions": map[string]any{
+			"extract": map[string]any{"execSeconds": 0.1},
+			"load":    map[string]any{"execSeconds": 0.05},
+		},
+	}
+	var info workflowInfo
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows", req, &info); code != http.StatusCreated {
+		t.Fatalf("deploy status = %d", code)
+	}
+	if info.Name != "etl" || info.Tasks != 2 || info.Groups == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+	if len(info.Placement) != 2 {
+		t.Fatalf("placement = %v", info.Placement)
+	}
+}
+
+func TestDeployAndInvoke(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+
+	var names []string
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows", nil, &names); code != 200 {
+		t.Fatalf("list status = %d", code)
+	}
+	if len(names) != 1 || names[0] != "etl" {
+		t.Fatalf("names = %v", names)
+	}
+
+	var stats invokeResponse
+	code := doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke",
+		map[string]any{"n": 10}, &stats)
+	if code != 200 {
+		t.Fatalf("invoke status = %d", code)
+	}
+	if stats.Count != 10 || stats.MeanMs < 150 {
+		t.Fatalf("stats = %+v (critical exec is 150ms)", stats)
+	}
+	if stats.P99Ms < stats.P50Ms {
+		t.Fatalf("percentiles inverted: %+v", stats)
+	}
+}
+
+func TestDeployBenchmark(t *testing.T) {
+	srv := newTestServer(t)
+	var info workflowInfo
+	code := doJSON(t, http.MethodPost, srv.URL+"/workflows",
+		map[string]any{"benchmark": "Vid"}, &info)
+	if code != http.StatusCreated {
+		t.Fatalf("status = %d", code)
+	}
+	if info.Tasks != 10 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+func TestGetWorkflowInfo(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	var info workflowInfo
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/etl", nil, &info); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if info.LocalizedPercent != 100 {
+		t.Fatalf("chain should be fully local: %+v", info)
+	}
+}
+
+func TestClusterStats(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke", map[string]any{"n": 3}, nil)
+	var u map[string]any
+	if code := doJSON(t, http.MethodGet, srv.URL+"/cluster", nil, &u); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if u["coldStarts"].(float64) == 0 {
+		t.Fatalf("cluster stats empty: %v", u)
+	}
+}
+
+func TestBenchmarksEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var out []map[string]any
+	if code := doJSON(t, http.MethodGet, srv.URL+"/benchmarks", nil, &out); code != 200 {
+		t.Fatalf("status = %d", code)
+	}
+	if len(out) != 8 {
+		t.Fatalf("benchmarks = %d", len(out))
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	srv := newTestServer(t)
+	cases := []struct {
+		method, path string
+		body         any
+		want         int
+	}{
+		{"POST", "/workflows", map[string]any{}, http.StatusBadRequest},
+		{"POST", "/workflows", map[string]any{"benchmark": "nope"}, http.StatusNotFound},
+		{"POST", "/workflows", map[string]any{"wdl": "not: [valid"}, http.StatusBadRequest},
+		{"GET", "/workflows/ghost", nil, http.StatusNotFound},
+		{"POST", "/workflows/ghost/invoke", map[string]any{"n": 1}, http.StatusNotFound},
+		{"DELETE", "/workflows", nil, http.StatusMethodNotAllowed},
+		{"POST", "/benchmarks", map[string]any{}, http.StatusMethodNotAllowed},
+		{"POST", "/cluster", map[string]any{}, http.StatusMethodNotAllowed},
+	}
+	for _, tc := range cases {
+		var out map[string]any
+		code := doJSON(t, tc.method, srv.URL+tc.path, tc.body, &out)
+		if code != tc.want {
+			t.Errorf("%s %s = %d, want %d (%v)", tc.method, tc.path, code, tc.want, out)
+		}
+		if _, hasErr := out["error"]; !hasErr {
+			t.Errorf("%s %s: error body missing", tc.method, tc.path)
+		}
+	}
+}
+
+func TestDuplicateDeployRejected(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	req := map[string]any{
+		"wdl": gatewayWDL,
+		"functions": map[string]any{
+			"extract": map[string]any{"execSeconds": 0.1},
+			"load":    map[string]any{"execSeconds": 0.05},
+		},
+	}
+	var out map[string]any
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows", req, &out); code != http.StatusConflict {
+		t.Fatalf("duplicate deploy status = %d", code)
+	}
+}
+
+func TestInvokeWithArgsRoutesSwitch(t *testing.T) {
+	srv := newTestServer(t)
+	req := map[string]any{
+		"wdl": `
+name: router
+steps:
+  - name: probe
+    function: probe
+  - name: pick
+    type: switch
+    choices:
+      - condition: "$q > 720"
+        steps:
+          - name: hd
+            function: hd
+      - steps:
+          - name: sd
+            function: sd
+`,
+		"functions": map[string]any{
+			"probe": map[string]any{"execSeconds": 0.05},
+			"hd":    map[string]any{"execSeconds": 2.0},
+			"sd":    map[string]any{"execSeconds": 0.1},
+		},
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows", req, nil); code != http.StatusCreated {
+		t.Fatalf("deploy status = %d", code)
+	}
+	invoke := func(q float64) invokeResponse {
+		var stats invokeResponse
+		code := doJSON(t, http.MethodPost, srv.URL+"/workflows/router/invoke",
+			map[string]any{"n": 3, "args": map[string]any{"q": q}}, &stats)
+		if code != 200 {
+			t.Fatalf("invoke status = %d", code)
+		}
+		return stats
+	}
+	hd, sd := invoke(1080), invoke(480)
+	if hd.MeanMs <= sd.MeanMs {
+		t.Fatalf("hd mean %.0fms <= sd mean %.0fms; args not routed", hd.MeanMs, sd.MeanMs)
+	}
+}
+
+func TestConcurrentRequestsSerialized(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	done := make(chan error, 8)
+	for i := 0; i < 8; i++ {
+		go func() {
+			// Plain client calls here: test helpers may not t.Fatal from
+			// goroutines.
+			resp, err := http.Post(srv.URL+"/workflows/etl/invoke", "application/json",
+				bytes.NewBufferString(`{"n":2}`))
+			if err != nil {
+				done <- err
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				done <- fmt.Errorf("status %d", resp.StatusCode)
+				return
+			}
+			done <- nil
+		}()
+	}
+	for i := 0; i < 8; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

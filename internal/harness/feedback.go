@@ -1,0 +1,52 @@
+package harness
+
+import (
+	"repro/internal/dag"
+	"repro/internal/scheduler"
+)
+
+// RefreshPlacement runs one feedback-based partition iteration (paper
+// Fig 10): collect each function node's observed container scale from the
+// cluster, recompute the grouping with the Scale(v) feedback, and
+// red-black redeploy the workflow so new invocations use the fresh
+// sub-graphs while in-flight ones drain on the old version.
+func RefreshPlacement(tb *Testbed, d *Deployment) (*scheduler.Placement, error) {
+	place := d.Engine.Placement()
+	g := d.Bench.Graph
+
+	// Several graph nodes can invoke the same function on the same worker;
+	// the pool's peak container count covers all of them, so attribute an
+	// equal share to each co-placed node.
+	coPlaced := map[[2]string]int{}
+	for _, n := range g.Nodes() {
+		if n.Kind != dag.KindTask {
+			continue
+		}
+		coPlaced[[2]string{place[n.ID], n.Function}]++
+	}
+	scale := map[dag.NodeID]float64{}
+	for _, n := range g.Nodes() {
+		if n.Kind != dag.KindTask {
+			continue
+		}
+		w := place[n.ID]
+		_, peak := tb.Runtime.Nodes[w].ScaleOf(n.Function)
+		s := float64(peak) / float64(coPlaced[[2]string{w, n.Function}])
+		if s < 1 {
+			s = 1
+		}
+		scale[n.ID] = s
+	}
+
+	in := tb.schedInput(d.Bench)
+	in.Scale = scale
+	fresh, err := scheduler.Schedule(in)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Engine.Redeploy(fresh.Worker); err != nil {
+		return nil, err
+	}
+	d.Placement = fresh
+	return fresh, nil
+}

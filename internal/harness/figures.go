@@ -1,0 +1,176 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/viz"
+)
+
+// This file converts experiment rows into viz charts so the CLI can emit
+// SVG figures alongside the tables — the reproduction's draw.sh.
+
+// ChartOverhead builds the Fig 4/11 grouped bar chart (overhead in ms).
+func ChartOverhead(rows []OverheadRow, systems []System) *viz.BarChart {
+	c := &viz.BarChart{Title: "Scheduling overhead", YLabel: "overhead (ms)"}
+	for _, r := range rows {
+		c.Categories = append(c.Categories, r.Bench)
+	}
+	for _, sys := range systems {
+		s := viz.Series{Name: sys.String()}
+		for _, r := range rows {
+			s.Values = append(s.Values, float64(r.Overhead[sys])/float64(time.Millisecond))
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// ChartMovement builds the Fig 5 log-scale bar chart (MB moved).
+func ChartMovement(rows []MovementRow) *viz.BarChart {
+	c := &viz.BarChart{
+		Title:    "Data movement per invocation",
+		YLabel:   "MB (log scale)",
+		LogScale: true,
+	}
+	mono := viz.Series{Name: "monolithic"}
+	faas := viz.Series{Name: "FaaS"}
+	for _, r := range rows {
+		c.Categories = append(c.Categories, r.Bench)
+		mono.Values = append(mono.Values, float64(r.Monolithic)/1e6)
+		faas.Values = append(faas.Values, float64(r.FaaS)/1e6)
+	}
+	c.Series = []viz.Series{mono, faas}
+	return c
+}
+
+// ChartTransfer builds the Table 4 bar chart (seconds, log scale — Cyc is
+// two orders of magnitude above IR).
+func ChartTransfer(rows []TransferRow) *viz.BarChart {
+	c := &viz.BarChart{
+		Title:    "Total data-movement latency per invocation",
+		YLabel:   "seconds (log scale)",
+		LogScale: true,
+	}
+	hf := viz.Series{Name: HyperFlow.String()}
+	ff := viz.Series{Name: FaaSFlowFaaStore.String()}
+	for _, r := range rows {
+		c.Categories = append(c.Categories, r.Bench)
+		hf.Values = append(hf.Values, r.HyperFlow.Seconds())
+		ff.Values = append(ff.Values, r.FaaStore.Seconds())
+	}
+	c.Series = []viz.Series{hf, ff}
+	return c
+}
+
+// ChartTail builds the Fig 13 bar chart from single-(bandwidth, rate)
+// rows: p99 per benchmark per system.
+func ChartTail(rows []TailRow) *viz.BarChart {
+	c := &viz.BarChart{Title: "p99 end-to-end latency", YLabel: "p99 (s)"}
+	perSys := map[System]map[string]time.Duration{}
+	var order []string
+	seen := map[string]bool{}
+	var systems []System
+	seenSys := map[System]bool{}
+	for _, r := range rows {
+		if !seen[r.Bench] {
+			seen[r.Bench] = true
+			order = append(order, r.Bench)
+		}
+		if !seenSys[r.Sys] {
+			seenSys[r.Sys] = true
+			systems = append(systems, r.Sys)
+		}
+		if perSys[r.Sys] == nil {
+			perSys[r.Sys] = map[string]time.Duration{}
+		}
+		perSys[r.Sys][r.Bench] = r.P99
+	}
+	c.Categories = order
+	for _, sys := range systems {
+		s := viz.Series{Name: sys.String()}
+		for _, b := range order {
+			s.Values = append(s.Values, perSys[sys][b].Seconds())
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// ChartBandwidthSweep builds one Fig 12 panel: p99 vs storage bandwidth
+// for a single benchmark and arrival rate, one line per system.
+func ChartBandwidthSweep(rows []TailRow, bench string, rate float64) *viz.LineChart {
+	c := &viz.LineChart{
+		Title:  fmt.Sprintf("%s: p99 vs storage bandwidth (%.0f inv/min)", bench, rate),
+		XLabel: "storage bandwidth (MB/s)",
+		YLabel: "p99 (s)",
+	}
+	bySys := map[System]*viz.LineSeries{}
+	var order []System
+	for _, r := range rows {
+		if r.Bench != bench || r.PerMinute != rate {
+			continue
+		}
+		s := bySys[r.Sys]
+		if s == nil {
+			s = &viz.LineSeries{Name: r.Sys.String()}
+			bySys[r.Sys] = s
+			order = append(order, r.Sys)
+		}
+		s.Points = append(s.Points, viz.LinePoint{X: r.StorageMB, Y: r.P99.Seconds()})
+	}
+	for _, sys := range order {
+		c.Series = append(c.Series, *bySys[sys])
+	}
+	return c
+}
+
+// ChartCoLocation builds the Fig 14 bar chart (degradation %).
+func ChartCoLocation(rows []CoLocationRow) *viz.BarChart {
+	c := &viz.BarChart{Title: "Co-location degradation", YLabel: "degradation (%)"}
+	perSys := map[System]map[string]float64{}
+	var order []string
+	seen := map[string]bool{}
+	var systems []System
+	seenSys := map[System]bool{}
+	for _, r := range rows {
+		if !seen[r.Bench] {
+			seen[r.Bench] = true
+			order = append(order, r.Bench)
+		}
+		if !seenSys[r.Sys] {
+			seenSys[r.Sys] = true
+			systems = append(systems, r.Sys)
+		}
+		if perSys[r.Sys] == nil {
+			perSys[r.Sys] = map[string]float64{}
+		}
+		perSys[r.Sys][r.Bench] = r.Degradation() * 100
+	}
+	c.Categories = order
+	for _, sys := range systems {
+		s := viz.Series{Name: sys.String()}
+		for _, b := range order {
+			s.Values = append(s.Values, perSys[sys][b])
+		}
+		c.Series = append(c.Series, s)
+	}
+	return c
+}
+
+// ChartSchedulerCost builds the Fig 16 line chart (ms and MB vs nodes).
+func ChartSchedulerCost(rows []SchedulerCostRow) *viz.LineChart {
+	c := &viz.LineChart{
+		Title:  "Graph Scheduler cost vs workflow size",
+		XLabel: "function nodes",
+		YLabel: "wall time (ms) / alloc (MB)",
+	}
+	wall := viz.LineSeries{Name: "wall time (ms)"}
+	alloc := viz.LineSeries{Name: "alloc (MB)"}
+	for _, r := range rows {
+		wall.Points = append(wall.Points, viz.LinePoint{X: float64(r.Nodes), Y: float64(r.WallTime) / 1e6})
+		alloc.Points = append(alloc.Points, viz.LinePoint{X: float64(r.Nodes), Y: float64(r.AllocBytes) / 1e6})
+	}
+	c.Series = []viz.LineSeries{wall, alloc}
+	return c
+}

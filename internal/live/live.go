@@ -1,0 +1,273 @@
+// Package live executes workflow DAGs for real: each task node runs a
+// user-provided Go handler in its own goroutine, inputs and outputs are
+// actual byte payloads, and triggering follows the WorkerSP discipline —
+// a node fires as soon as its last predecessor finishes, decided locally
+// by the completing node's goroutine, with no central coordinator in the
+// hot path.
+//
+// This is the execution counterpart of the simulation engines: the same
+// dag.Graph, virtual-marker and foreach semantics, driven by goroutines
+// and real work instead of virtual time. It gives the library a second
+// life as an embeddable workflow runner.
+package live
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/dag"
+)
+
+// Input is one resolved data dependency handed to a handler.
+type Input struct {
+	// From is the producing step's name ("step#2" for foreach replicas).
+	From string
+	// Data is the producer's output payload.
+	Data []byte
+}
+
+// Handler executes one task invocation. replica identifies the data-plane
+// executor within a foreach node (0 otherwise). Returning an error fails
+// the run (after retries, if configured).
+type Handler func(ctx context.Context, replica int, inputs []Input) ([]byte, error)
+
+// Options tunes a runner.
+type Options struct {
+	// Parallelism caps concurrently running handlers (0 = unlimited).
+	Parallelism int
+	// MaxAttempts retries failing handlers (default 1 = no retries).
+	MaxAttempts int
+}
+
+// Runner executes one workflow graph with a handler per function name.
+type Runner struct {
+	g        *dag.Graph
+	handlers map[string]Handler
+	opts     Options
+	inputs   map[dag.NodeID][]inputRef
+}
+
+type inputRef struct {
+	producer dag.NodeID
+	width    int
+}
+
+// New validates the graph and handler set and builds a runner. Every task
+// node's function must have a handler.
+func New(g *dag.Graph, handlers map[string]Handler, opts Options) (*Runner, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxAttempts <= 0 {
+		opts.MaxAttempts = 1
+	}
+	for _, n := range g.Nodes() {
+		if n.Kind != dag.KindTask {
+			continue
+		}
+		if handlers[n.Function] == nil {
+			return nil, fmt.Errorf("live: no handler for function %q (node %q)", n.Function, n.Name)
+		}
+	}
+	r := &Runner{g: g, handlers: handlers, opts: opts, inputs: map[dag.NodeID][]inputRef{}}
+	r.resolveInputs()
+	return r, nil
+}
+
+// resolveInputs mirrors the simulation engine's virtual-marker resolution:
+// a consumer reads the outputs of the nearest upstream task(s).
+func (r *Runner) resolveInputs() {
+	var producers func(x dag.NodeID, seen map[dag.NodeID]bool) []dag.NodeID
+	producers = func(x dag.NodeID, seen map[dag.NodeID]bool) []dag.NodeID {
+		var out []dag.NodeID
+		for _, p := range r.g.Preds(x) {
+			if seen[p] {
+				continue
+			}
+			seen[p] = true
+			if r.g.Node(p).Kind == dag.KindTask {
+				out = append(out, p)
+			} else {
+				out = append(out, producers(p, seen)...)
+			}
+		}
+		return out
+	}
+	for _, n := range r.g.Nodes() {
+		if n.Kind != dag.KindTask {
+			continue
+		}
+		for _, p := range producers(n.ID, map[dag.NodeID]bool{}) {
+			r.inputs[n.ID] = append(r.inputs[n.ID], inputRef{producer: p, width: r.g.Node(p).Width})
+		}
+	}
+}
+
+// Result holds a completed run's outputs.
+type Result struct {
+	// Outputs maps each sink task's name to its payload (replica 0; all
+	// replicas appear under "name#i" for foreach sinks with width > 1).
+	Outputs map[string][]byte
+}
+
+// run tracks one execution.
+type run struct {
+	r       *Runner
+	ctx     context.Context
+	cancel  context.CancelCauseFunc
+	sem     chan struct{}
+	mu      sync.Mutex
+	outputs map[dag.NodeID][][]byte // node -> per-replica payloads
+	pending map[dag.NodeID]int      // remaining predecessor count
+	wg      sync.WaitGroup
+}
+
+// Run executes the workflow and blocks until every node finished or one
+// failed. It is safe to call Run multiple times and from multiple
+// goroutines; each call is an independent execution.
+func (r *Runner) Run(ctx context.Context) (*Result, error) {
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+	ex := &run{
+		r:       r,
+		ctx:     runCtx,
+		cancel:  cancel,
+		outputs: map[dag.NodeID][][]byte{},
+		pending: map[dag.NodeID]int{},
+	}
+	if r.opts.Parallelism > 0 {
+		ex.sem = make(chan struct{}, r.opts.Parallelism)
+	}
+	for _, n := range r.g.Nodes() {
+		ex.pending[n.ID] = r.g.InDegree(n.ID)
+	}
+	for _, src := range r.g.Sources() {
+		ex.launch(src)
+	}
+	ex.wg.Wait()
+	if cause := context.Cause(runCtx); cause != nil {
+		return nil, cause
+	}
+	res := &Result{Outputs: map[string][]byte{}}
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	for _, id := range r.g.Sinks() {
+		n := r.g.Node(id)
+		if n.Kind != dag.KindTask {
+			continue
+		}
+		reps := ex.outputs[id]
+		if len(reps) == 1 {
+			res.Outputs[n.Name] = reps[0]
+			continue
+		}
+		for i, data := range reps {
+			res.Outputs[fmt.Sprintf("%s#%d", n.Name, i)] = data
+		}
+	}
+	return res, nil
+}
+
+// launch starts a node whose predecessors are all complete.
+func (ex *run) launch(id dag.NodeID) {
+	n := ex.r.g.Node(id)
+	if n.Kind == dag.KindVirtual {
+		// Markers complete instantly and propagate inline.
+		ex.complete(id)
+		return
+	}
+	ex.wg.Add(n.Width)
+	ex.mu.Lock()
+	ex.outputs[id] = make([][]byte, n.Width)
+	ex.mu.Unlock()
+	var remaining sync.WaitGroup
+	remaining.Add(n.Width)
+	for replica := 0; replica < n.Width; replica++ {
+		replica := replica
+		go func() {
+			defer ex.wg.Done()
+			defer remaining.Done()
+			ex.runReplica(id, replica)
+		}()
+	}
+	// A watcher goroutine completes the node when every replica is done.
+	ex.wg.Add(1)
+	go func() {
+		defer ex.wg.Done()
+		remaining.Wait()
+		if ex.ctx.Err() == nil {
+			ex.complete(id)
+		}
+	}()
+}
+
+func (ex *run) runReplica(id dag.NodeID, replica int) {
+	if ex.sem != nil {
+		select {
+		case ex.sem <- struct{}{}:
+			defer func() { <-ex.sem }()
+		case <-ex.ctx.Done():
+			return
+		}
+	}
+	if ex.ctx.Err() != nil {
+		return
+	}
+	n := ex.r.g.Node(id)
+	handler := ex.r.handlers[n.Function]
+	inputs := ex.collectInputs(id)
+	var out []byte
+	var err error
+	for attempt := 1; attempt <= ex.r.opts.MaxAttempts; attempt++ {
+		out, err = handler(ex.ctx, replica, inputs)
+		if err == nil {
+			break
+		}
+		if ex.ctx.Err() != nil {
+			return
+		}
+	}
+	if err != nil {
+		ex.cancel(fmt.Errorf("live: node %q replica %d: %w", n.Name, replica, err))
+		return
+	}
+	ex.mu.Lock()
+	ex.outputs[id][replica] = out
+	ex.mu.Unlock()
+}
+
+func (ex *run) collectInputs(id dag.NodeID) []Input {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	var out []Input
+	for _, ref := range ex.r.inputs[id] {
+		name := ex.r.g.Node(ref.producer).Name
+		reps := ex.outputs[ref.producer]
+		for i, data := range reps {
+			from := name
+			if len(reps) > 1 {
+				from = fmt.Sprintf("%s#%d", name, i)
+			}
+			out = append(out, Input{From: from, Data: data})
+		}
+	}
+	return out
+}
+
+// complete decrements successors' pending counts and launches the ready
+// ones — the WorkerSP trigger rule, executed by the completing node.
+func (ex *run) complete(id dag.NodeID) {
+	var ready []dag.NodeID
+	ex.mu.Lock()
+	for _, succ := range ex.r.g.Succs(id) {
+		ex.pending[succ]--
+		if ex.pending[succ] == 0 {
+			ready = append(ready, succ)
+		}
+	}
+	ex.mu.Unlock()
+	for _, succ := range ready {
+		ex.launch(succ)
+	}
+}

@@ -1,0 +1,372 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/dag"
+)
+
+// echoHandler returns its name plus sorted input names — enough to assert
+// dataflow without timing assumptions.
+func echoHandler(name string) Handler {
+	return func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+		var froms []string
+		for _, in := range inputs {
+			froms = append(froms, in.From)
+		}
+		sort.Strings(froms)
+		return []byte(fmt.Sprintf("%s(%s)", name, strings.Join(froms, ","))), nil
+	}
+}
+
+func diamondGraph() *dag.Graph {
+	g := dag.New("diamond")
+	a := g.AddTask("a", "fa")
+	b := g.AddTask("b", "fb")
+	c := g.AddTask("c", "fc")
+	d := g.AddTask("d", "fd")
+	g.Connect(a, b, 0)
+	g.Connect(a, c, 0)
+	g.Connect(b, d, 0)
+	g.Connect(c, d, 0)
+	return g
+}
+
+func TestDiamondDataflow(t *testing.T) {
+	handlers := map[string]Handler{
+		"fa": echoHandler("a"), "fb": echoHandler("b"),
+		"fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	r, err := New(diamondGraph(), handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(res.Outputs["d"])
+	if got != "d(b,c)" {
+		t.Fatalf("d output = %q, want d(b,c)", got)
+	}
+}
+
+func TestExecutionOrderRespectsDependencies(t *testing.T) {
+	g := dag.New("chain")
+	prev := g.AddTask("n0", "f")
+	for i := 1; i < 10; i++ {
+		cur := g.AddTask(fmt.Sprintf("n%d", i), "f")
+		g.Connect(prev, cur, 0)
+		prev = cur
+	}
+	var mu sync.Mutex
+	var order []string
+	handlers := map[string]Handler{"f": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		// The chain means each node sees exactly its predecessor's record
+		// already appended.
+		order = append(order, fmt.Sprintf("%d", len(order)))
+		return nil, nil
+	}}
+	r, err := New(g, handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 {
+		t.Fatalf("ran %d nodes, want 10", len(order))
+	}
+}
+
+func TestParallelBranchesActuallyOverlap(t *testing.T) {
+	g := dag.New("fan")
+	src := g.AddTask("src", "fsrc")
+	for i := 0; i < 4; i++ {
+		b := g.AddTask(fmt.Sprintf("b%d", i), "fslow")
+		g.Connect(src, b, 0)
+	}
+	var concurrent, peak int32
+	handlers := map[string]Handler{
+		"fsrc": echoHandler("src"),
+		"fslow": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			cur := atomic.AddInt32(&concurrent, 1)
+			for {
+				p := atomic.LoadInt32(&peak)
+				if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+					break
+				}
+			}
+			time.Sleep(20 * time.Millisecond)
+			atomic.AddInt32(&concurrent, -1)
+			return nil, nil
+		},
+	}
+	r, err := New(g, handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if atomic.LoadInt32(&peak) < 2 {
+		t.Fatalf("peak concurrency = %d, want >= 2 (branches serialized)", peak)
+	}
+}
+
+func TestParallelismCap(t *testing.T) {
+	g := dag.New("wide")
+	for i := 0; i < 8; i++ {
+		g.AddTask(fmt.Sprintf("t%d", i), "f")
+	}
+	var concurrent, peak int32
+	handlers := map[string]Handler{"f": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+		cur := atomic.AddInt32(&concurrent, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if cur <= p || atomic.CompareAndSwapInt32(&peak, p, cur) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+		atomic.AddInt32(&concurrent, -1)
+		return nil, nil
+	}}
+	r, err := New(g, handlers, Options{Parallelism: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&peak); got > 2 {
+		t.Fatalf("peak concurrency = %d, cap was 2", got)
+	}
+}
+
+func TestForeachReplicasAndFanIn(t *testing.T) {
+	g := dag.New("fe")
+	src := g.AddTask("split", "fsplit")
+	mid := g.AddTask("work", "fwork")
+	g.SetWidth(mid, 3)
+	g.MarkForeach(mid)
+	sink := g.AddTask("merge", "fmerge")
+	g.Connect(src, mid, 0)
+	g.Connect(mid, sink, 0)
+	handlers := map[string]Handler{
+		"fsplit": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			return []byte("data"), nil
+		},
+		"fwork": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			return []byte(fmt.Sprintf("part%d", replica)), nil
+		},
+		"fmerge": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			var parts []string
+			for _, in := range inputs {
+				parts = append(parts, in.From+"="+string(in.Data))
+			}
+			sort.Strings(parts)
+			return []byte(strings.Join(parts, ";")), nil
+		},
+	}
+	r, err := New(g, handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(res.Outputs["merge"])
+	want := "work#0=part0;work#1=part1;work#2=part2"
+	if got != want {
+		t.Fatalf("merge = %q, want %q", got, want)
+	}
+}
+
+func TestVirtualMarkersPassThrough(t *testing.T) {
+	g := dag.New("virt")
+	a := g.AddTask("a", "fa")
+	vs := g.AddVirtual("p:start")
+	b := g.AddTask("b", "fb")
+	c := g.AddTask("c", "fc")
+	ve := g.AddVirtual("p:end")
+	d := g.AddTask("d", "fd")
+	g.Connect(a, vs, 0)
+	g.Connect(vs, b, 0)
+	g.Connect(vs, c, 0)
+	g.Connect(b, ve, 0)
+	g.Connect(c, ve, 0)
+	g.Connect(ve, d, 0)
+	handlers := map[string]Handler{
+		"fa": echoHandler("a"), "fb": echoHandler("b"),
+		"fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	r, err := New(g, handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(res.Outputs["d"]); got != "d(b,c)" {
+		t.Fatalf("d = %q, want d(b,c) through virtual markers", got)
+	}
+}
+
+func TestHandlerErrorFailsRun(t *testing.T) {
+	boom := errors.New("boom")
+	handlers := map[string]Handler{
+		"fa": echoHandler("a"),
+		"fb": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			return nil, boom
+		},
+		"fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	r, err := New(diamondGraph(), handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.Run(context.Background())
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+func TestRetriesEventuallySucceed(t *testing.T) {
+	var attempts int32
+	handlers := map[string]Handler{
+		"fa": echoHandler("a"),
+		"fb": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			if atomic.AddInt32(&attempts, 1) < 3 {
+				return nil, errors.New("flaky")
+			}
+			return []byte("ok"), nil
+		},
+		"fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	r, err := New(diamondGraph(), handlers, Options{MaxAttempts: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatalf("run failed despite retries: %v", err)
+	}
+	if atomic.LoadInt32(&attempts) != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts)
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	g := dag.New("slow")
+	a := g.AddTask("a", "fslow")
+	b := g.AddTask("b", "fslow")
+	g.Connect(a, b, 0)
+	handlers := map[string]Handler{"fslow": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+		select {
+		case <-time.After(5 * time.Second):
+			return nil, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}}
+	r, err := New(g, handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = r.Run(ctx)
+	if err == nil {
+		t.Fatal("canceled run reported success")
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Fatal("cancellation did not interrupt the run promptly")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	g := diamondGraph()
+	if _, err := New(g, map[string]Handler{}, Options{}); err == nil {
+		t.Error("missing handlers accepted")
+	}
+	empty := dag.New("empty")
+	if _, err := New(empty, map[string]Handler{}, Options{}); err == nil {
+		t.Error("empty graph accepted")
+	}
+}
+
+func TestConcurrentRunsIndependent(t *testing.T) {
+	handlers := map[string]Handler{
+		"fa": echoHandler("a"), "fb": echoHandler("b"),
+		"fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	r, err := New(diamondGraph(), handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, 16)
+	for i := 0; i < 16; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := r.Run(context.Background())
+			if err == nil && string(res.Outputs["d"]) != "d(b,c)" {
+				err = fmt.Errorf("bad output %q", res.Outputs["d"])
+			}
+			errs[i] = err
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("run %d: %v", i, err)
+		}
+	}
+}
+
+func TestPaperBenchmarkGraphRunsLive(t *testing.T) {
+	// The Epigenomics DAG, with trivial handlers: proves the live runner
+	// consumes the same graphs the simulator does.
+	g := dag.New("epi-live")
+	split := g.AddTask("split", "f")
+	merge := g.AddTask("merge", "f")
+	for lane := 0; lane < 5; lane++ {
+		prev := split
+		for s := 0; s < 3; s++ {
+			n := g.AddTask(fmt.Sprintf("l%d-s%d", lane, s), "f")
+			g.Connect(prev, n, 0)
+			prev = n
+		}
+		g.Connect(prev, merge, 0)
+	}
+	var count int32
+	handlers := map[string]Handler{"f": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+		atomic.AddInt32(&count, 1)
+		return nil, nil
+	}}
+	r, err := New(g, handlers, Options{Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(&count); got != 17 {
+		t.Fatalf("ran %d handlers, want 17", got)
+	}
+}

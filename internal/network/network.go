@@ -1,0 +1,385 @@
+// Package network simulates a cluster network as a max-min fair-share
+// bandwidth fabric.
+//
+// Every node owns two capacity resources: an egress link and an ingress
+// link. A transfer from A to B is a fluid flow constrained by both A's
+// egress and B's ingress; concurrent flows share each link with max-min
+// fairness (the standard progressive-filling model of TCP flows meeting at
+// a bottleneck). This reproduces the contention behaviour the FaaSFlow
+// paper studies: when many parallel functions push intermediate data toward
+// one storage node, the storage node's link is the bottleneck and every
+// flow slows down proportionally.
+//
+// Small control messages (task assignments, state-transfer packets) use
+// SendMsg, which pays per-message latency plus serialization at link speed
+// but is not modeled as a persistent flow — these payloads are a few
+// hundred bytes and would otherwise drown the solver in events.
+package network
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Bandwidth is a link capacity in bytes per second.
+type Bandwidth float64
+
+// MBps constructs a Bandwidth from megabytes per second (the unit the paper
+// uses, e.g. the 25–100 MB/s wondershaper sweeps).
+func MBps(v float64) Bandwidth { return Bandwidth(v * 1e6) }
+
+// MBps reports the bandwidth in megabytes per second.
+func (b Bandwidth) MBps() float64 { return float64(b) / 1e6 }
+
+// Config holds fabric-wide constants.
+type Config struct {
+	// MsgLatency is the one-way propagation plus protocol overhead paid by
+	// every message and by every flow before its first byte arrives.
+	MsgLatency time.Duration
+	// LocalLatency is the cost of a same-node RPC (loopback, no fabric).
+	LocalLatency time.Duration
+}
+
+// DefaultConfig returns latencies representative of a single-datacenter
+// cluster (sub-millisecond RTT) like the paper's ECS testbed.
+func DefaultConfig() Config {
+	return Config{
+		MsgLatency:   300 * time.Microsecond,
+		LocalLatency: 30 * time.Microsecond,
+	}
+}
+
+// link is one direction of a node's access link.
+type link struct {
+	capacity Bandwidth
+	flows    map[*Flow]struct{}
+}
+
+type node struct {
+	id      string
+	egress  *link
+	ingress *link
+	// byte accounting
+	bytesOut int64
+	bytesIn  int64
+}
+
+// Flow is an in-progress bulk transfer.
+type Flow struct {
+	from, to  string
+	size      int64
+	remaining float64 // bytes
+	rate      float64 // bytes/sec, set by the solver
+	updatedAt sim.Time
+	done      func()
+	src, dst  *link
+	finish    *sim.Event
+	fab       *Fabric
+}
+
+// From reports the sending node.
+func (f *Flow) From() string { return f.from }
+
+// To reports the receiving node.
+func (f *Flow) To() string { return f.to }
+
+// Size reports the total transfer size in bytes.
+func (f *Flow) Size() int64 { return f.size }
+
+// Rate reports the current fair-share rate in bytes/sec.
+func (f *Flow) Rate() float64 { return f.rate }
+
+// Fabric is the cluster network.
+type Fabric struct {
+	env   *sim.Env
+	cfg   Config
+	nodes map[string]*node
+	order []string // deterministic iteration order
+	flows map[*Flow]struct{}
+
+	totalBytes int64
+	totalFlows int64
+	totalMsgs  int64
+}
+
+// New creates an empty fabric on env.
+func New(env *sim.Env, cfg Config) *Fabric {
+	return &Fabric{
+		env:   env,
+		cfg:   cfg,
+		nodes: make(map[string]*node),
+		flows: make(map[*Flow]struct{}),
+	}
+}
+
+// AddNode registers a node with the given egress and ingress capacities.
+// Adding a node twice panics: topology is fixed at cluster construction.
+func (f *Fabric) AddNode(id string, egress, ingress Bandwidth) {
+	if _, ok := f.nodes[id]; ok {
+		panic(fmt.Sprintf("network: duplicate node %q", id))
+	}
+	if egress <= 0 || ingress <= 0 {
+		panic(fmt.Sprintf("network: node %q has non-positive bandwidth", id))
+	}
+	f.nodes[id] = &node{
+		id:      id,
+		egress:  &link{capacity: egress, flows: map[*Flow]struct{}{}},
+		ingress: &link{capacity: ingress, flows: map[*Flow]struct{}{}},
+	}
+	f.order = append(f.order, id)
+	sort.Strings(f.order)
+}
+
+// HasNode reports whether id is registered.
+func (f *Fabric) HasNode(id string) bool {
+	_, ok := f.nodes[id]
+	return ok
+}
+
+// SetBandwidth reconfigures a node's link capacities mid-run (the paper's
+// wondershaper throttling). Active flows are re-solved immediately.
+func (f *Fabric) SetBandwidth(id string, egress, ingress Bandwidth) {
+	n, ok := f.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown node %q", id))
+	}
+	if egress <= 0 || ingress <= 0 {
+		panic(fmt.Sprintf("network: node %q set to non-positive bandwidth", id))
+	}
+	f.settleAll()
+	n.egress.capacity = egress
+	n.ingress.capacity = ingress
+	f.resolve()
+}
+
+// Send starts a bulk transfer of size bytes from one node to another and
+// calls done when the last byte has arrived. Same-node transfers complete
+// after LocalLatency without touching the fabric. It returns the flow for
+// inspection (nil for local transfers).
+func (f *Fabric) Send(from, to string, size int64, done func()) *Flow {
+	if size < 0 {
+		panic("network: negative transfer size")
+	}
+	if done == nil {
+		done = func() {}
+	}
+	src, ok := f.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown sender %q", from))
+	}
+	dst, ok := f.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown receiver %q", to))
+	}
+	if from == to {
+		f.env.Schedule(f.cfg.LocalLatency, done)
+		return nil
+	}
+	if size == 0 {
+		// An empty payload degenerates to a bare message.
+		f.totalFlows++
+		f.env.Schedule(f.cfg.MsgLatency, done)
+		return nil
+	}
+	f.totalFlows++
+	f.totalBytes += size
+	src.bytesOut += size
+	dst.bytesIn += size
+	fl := &Flow{
+		from: from, to: to,
+		size: size, remaining: float64(size),
+		done: done,
+		src:  src.egress, dst: dst.ingress,
+		fab: f,
+	}
+	// The flow joins the fabric after propagation latency.
+	f.env.Schedule(f.cfg.MsgLatency, func() {
+		if fl.remaining <= 0 {
+			return
+		}
+		fl.updatedAt = f.env.Now()
+		f.settleAll()
+		f.flows[fl] = struct{}{}
+		fl.src.flows[fl] = struct{}{}
+		fl.dst.flows[fl] = struct{}{}
+		f.resolve()
+	})
+	return fl
+}
+
+// SendMsg delivers a small control message: latency plus serialization at
+// the slower of the two links' full capacity (control messages are short
+// enough that modeling them as fair-share flows is pointless). Same-node
+// messages pay LocalLatency.
+func (f *Fabric) SendMsg(from, to string, size int64, done func()) {
+	if size < 0 {
+		panic("network: negative message size")
+	}
+	if done == nil {
+		done = func() {}
+	}
+	src, ok := f.nodes[from]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown sender %q", from))
+	}
+	dst, ok := f.nodes[to]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown receiver %q", to))
+	}
+	f.totalMsgs++
+	if from == to {
+		f.env.Schedule(f.cfg.LocalLatency, done)
+		return
+	}
+	bw := math.Min(float64(src.egress.capacity), float64(dst.ingress.capacity))
+	ser := time.Duration(float64(size) / bw * float64(time.Second))
+	src.bytesOut += size
+	dst.bytesIn += size
+	f.totalBytes += size
+	f.env.Schedule(f.cfg.MsgLatency+ser, done)
+}
+
+// settleAll advances every active flow's remaining-bytes to the current
+// instant at its old rate and cancels pending finish events. Must be called
+// before any rate change.
+func (f *Fabric) settleAll() {
+	now := f.env.Now()
+	for fl := range f.flows {
+		elapsed := (now - fl.updatedAt).Duration().Seconds()
+		fl.remaining -= fl.rate * elapsed
+		if fl.remaining < 0 {
+			fl.remaining = 0
+		}
+		fl.updatedAt = now
+		if fl.finish != nil {
+			fl.finish.Cancel()
+			fl.finish = nil
+		}
+	}
+}
+
+// resolve computes max-min fair rates for all active flows (progressive
+// filling over the 2-resource path egress→ingress) and schedules each
+// flow's completion.
+func (f *Fabric) resolve() {
+	if len(f.flows) == 0 {
+		return
+	}
+	// Collect links that carry at least one flow.
+	type linkState struct {
+		l       *link
+		unfixed int
+		used    float64
+	}
+	states := map[*link]*linkState{}
+	for fl := range f.flows {
+		fl.rate = -1 // unfixed
+		for _, l := range [2]*link{fl.src, fl.dst} {
+			st := states[l]
+			if st == nil {
+				st = &linkState{l: l}
+				states[l] = st
+			}
+			st.unfixed++
+		}
+	}
+	unfixedFlows := len(f.flows)
+	for unfixedFlows > 0 {
+		// Find the bottleneck: the link whose equal share for its unfixed
+		// flows is smallest.
+		var bottleneck *linkState
+		share := math.Inf(1)
+		for _, st := range states {
+			if st.unfixed == 0 {
+				continue
+			}
+			s := (float64(st.l.capacity) - st.used) / float64(st.unfixed)
+			if s < share {
+				share = s
+				bottleneck = st
+			}
+		}
+		if bottleneck == nil {
+			break
+		}
+		if share < 0 {
+			share = 0
+		}
+		// Fix every unfixed flow crossing the bottleneck at the share.
+		for fl := range bottleneck.l.flows {
+			if fl.rate >= 0 {
+				continue
+			}
+			fl.rate = share
+			unfixedFlows--
+			for _, l := range [2]*link{fl.src, fl.dst} {
+				st := states[l]
+				st.used += share
+				st.unfixed--
+			}
+		}
+	}
+	// Schedule completions.
+	now := f.env.Now()
+	for fl := range f.flows {
+		fl.scheduleFinish(now)
+	}
+}
+
+func (fl *Flow) scheduleFinish(now sim.Time) {
+	if fl.rate <= 0 {
+		// Starved (zero capacity); it will be re-solved on the next event.
+		return
+	}
+	secs := fl.remaining / fl.rate
+	fl.finish = fl.fab.env.Schedule(time.Duration(secs*float64(time.Second))+1, func() {
+		fl.fab.complete(fl)
+	})
+}
+
+func (f *Fabric) complete(fl *Flow) {
+	f.settleAll()
+	delete(f.flows, fl)
+	delete(fl.src.flows, fl)
+	delete(fl.dst.flows, fl)
+	fl.remaining = 0
+	f.resolve()
+	if fl.done != nil {
+		fl.done()
+	}
+}
+
+// ActiveFlows reports how many bulk transfers are currently in flight.
+func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// Stats is a snapshot of fabric byte accounting.
+type Stats struct {
+	TotalBytes int64 // all bytes that crossed the fabric (flows + messages)
+	TotalFlows int64 // bulk transfers started
+	TotalMsgs  int64 // control messages sent
+}
+
+// Stats returns cumulative fabric counters.
+func (f *Fabric) Stats() Stats {
+	return Stats{TotalBytes: f.totalBytes, TotalFlows: f.totalFlows, TotalMsgs: f.totalMsgs}
+}
+
+// NodeBytes reports cumulative bytes sent and received by a node.
+func (f *Fabric) NodeBytes(id string) (out, in int64) {
+	n, ok := f.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown node %q", id))
+	}
+	return n.bytesOut, n.bytesIn
+}
+
+// Nodes returns the registered node IDs in sorted order.
+func (f *Fabric) Nodes() []string {
+	out := make([]string, len(f.order))
+	copy(out, f.order)
+	return out
+}

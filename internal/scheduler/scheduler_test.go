@@ -1,0 +1,439 @@
+package scheduler
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dag"
+	"repro/internal/workloads"
+)
+
+func workers(n int) ([]string, map[string]int) {
+	ws := make([]string, n)
+	caps := map[string]int{}
+	for i := range ws {
+		ws[i] = string(rune('a' + i))
+		caps[ws[i]] = 64
+	}
+	return ws, caps
+}
+
+func baseInput(g *dag.Graph, nWorkers int) Input {
+	ws, caps := workers(nWorkers)
+	return Input{
+		Graph:       g,
+		ExecSeconds: func(n dag.Node) float64 { return 0.5 },
+		Workers:     ws,
+		Cap:         caps,
+		Quota:       1 << 40,
+		Seed:        1,
+	}
+}
+
+func chain(n int, bytes int64) *dag.Graph {
+	g := dag.New("chain")
+	prev := g.AddTask("n0", "f0")
+	for i := 1; i < n; i++ {
+		cur := g.AddTask("n", "f")
+		g.Connect(prev, cur, bytes)
+		prev = cur
+	}
+	return g
+}
+
+func TestChainCollapsesToOneGroup(t *testing.T) {
+	g := chain(10, 1<<20)
+	p, err := Schedule(baseInput(g, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups) != 1 {
+		t.Fatalf("groups = %d, want 1", len(p.Groups))
+	}
+	local, total := p.LocalityBytes(g)
+	if local != total {
+		t.Fatalf("locality %d/%d, want all local", local, total)
+	}
+}
+
+func TestCapacityLimitsGroupSize(t *testing.T) {
+	g := chain(10, 1<<20)
+	in := baseInput(g, 4)
+	for _, w := range in.Workers {
+		in.Cap[w] = 4
+	}
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups) < 3 {
+		t.Fatalf("groups = %d, want >= 3 under cap 4", len(p.Groups))
+	}
+	// No worker over capacity.
+	use := map[string]float64{}
+	for _, grp := range p.Groups {
+		use[grp.Worker] += grp.Demand
+	}
+	for w, u := range use {
+		if u > float64(in.Cap[w])+1e-9 {
+			t.Fatalf("worker %s overloaded: %.1f > %d", w, u, in.Cap[w])
+		}
+	}
+}
+
+func TestQuotaLimitsLocalization(t *testing.T) {
+	g := chain(10, 1<<20) // nine 1 MB edges
+	in := baseInput(g, 4)
+	in.Quota = 3 << 20 // only ~3 edges may localize
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.LocalizedBytes > in.Quota {
+		t.Fatalf("localized %d > quota %d", p.LocalizedBytes, in.Quota)
+	}
+	if p.LocalizedBytes == 0 {
+		t.Fatal("nothing localized despite available quota")
+	}
+}
+
+func TestContentionPairNeverCoLocated(t *testing.T) {
+	g := dag.New("cont")
+	a := g.AddTask("a", "fa")
+	b := g.AddTask("b", "fb")
+	c := g.AddTask("c", "fc")
+	g.Connect(a, b, 8<<20)
+	g.Connect(b, c, 4<<20)
+	in := baseInput(g, 3)
+	in.Contention = [][2]string{{"fa", "fb"}}
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Worker[a] == p.Worker[b] {
+		// They may hash to the same worker initially but must not be in
+		// the same *group*; the group check is what Algorithm 1 enforces.
+		for _, grp := range p.Groups {
+			hasA, hasB := false, false
+			for _, id := range grp.Nodes {
+				if id == a {
+					hasA = true
+				}
+				if id == b {
+					hasB = true
+				}
+			}
+			if hasA && hasB {
+				t.Fatal("contention pair merged into one group")
+			}
+		}
+	}
+	// b and c should merge fine.
+	foundBC := false
+	for _, grp := range p.Groups {
+		hasB, hasC := false, false
+		for _, id := range grp.Nodes {
+			if id == b {
+				hasB = true
+			}
+			if id == c {
+				hasC = true
+			}
+		}
+		if hasB && hasC {
+			foundBC = true
+		}
+	}
+	if !foundBC {
+		t.Fatal("unconstrained pair b-c did not merge")
+	}
+}
+
+func TestAtomicGroupsStayTogether(t *testing.T) {
+	g := dag.New("atomic")
+	a := g.AddTask("a", "fa")
+	s1 := g.AddVirtual("p:start")
+	b1 := g.AddTask("b1", "fb")
+	b2 := g.AddTask("b2", "fb")
+	e1 := g.AddVirtual("p:end")
+	for _, id := range []dag.NodeID{s1, b1, b2, e1} {
+		g.SetGroup(id, "p")
+	}
+	g.Connect(a, s1, 1<<20)
+	g.Connect(s1, b1, 1<<20)
+	g.Connect(s1, b2, 1<<20)
+	g.Connect(b1, e1, 1<<20)
+	g.Connect(b2, e1, 1<<20)
+	in := baseInput(g, 4)
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := p.Worker[s1]
+	for _, id := range []dag.NodeID{b1, b2, e1} {
+		if p.Worker[id] != w {
+			t.Fatalf("atomic step split across workers: %v vs %v", p.Worker[id], w)
+		}
+	}
+}
+
+func TestHashPartitionSpreads(t *testing.T) {
+	g := chain(40, 1<<20)
+	in := baseInput(g, 4)
+	p, err := HashPartition(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Groups) != 40 {
+		t.Fatalf("hash partition groups = %d, want 40 singletons", len(p.Groups))
+	}
+	used := map[string]bool{}
+	for _, grp := range p.Groups {
+		used[grp.Worker] = true
+	}
+	if len(used) < 2 {
+		t.Fatal("hash partition used a single worker for 40 nodes")
+	}
+	if p.LocalizedBytes != 0 {
+		t.Fatal("hash partition localized bytes")
+	}
+}
+
+func TestAlgorithmBeatsHashOnLocality(t *testing.T) {
+	for _, b := range workloads.All() {
+		in := baseInput(b.Graph, 7)
+		in.ExecSeconds = func(n dag.Node) float64 {
+			return b.Functions[n.Function].ExecSeconds
+		}
+		in.Contention = b.Contention
+		algo, err := Schedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		hash, err := HashPartition(in)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name, err)
+		}
+		aLocal, total := algo.LocalityBytes(b.Graph)
+		hLocal, _ := hash.LocalityBytes(b.Graph)
+		if aLocal < hLocal {
+			t.Errorf("%s: Algorithm 1 locality %d < hash locality %d (total %d)",
+				b.Name, aLocal, hLocal, total)
+		}
+	}
+}
+
+func TestSchedulerLocalityShapesMatchTable4(t *testing.T) {
+	// Table 4's ordering: Cyc localizes nearly everything; Soy almost
+	// nothing (its genotyping fan-in is contention-blocked); Gen modest.
+	frac := func(name string) float64 {
+		b := workloads.ByName(name)
+		in := baseInput(b.Graph, 7)
+		in.ExecSeconds = func(n dag.Node) float64 {
+			return b.Functions[n.Function].ExecSeconds
+		}
+		in.Contention = b.Contention
+		p, err := Schedule(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		local, total := p.LocalityBytes(b.Graph)
+		return float64(local) / float64(total)
+	}
+	cyc, soy, gen := frac("Cyc"), frac("Soy"), frac("Gen")
+	if cyc < 0.90 {
+		t.Errorf("Cyc locality = %.2f, want >= 0.90", cyc)
+	}
+	if soy > 0.30 {
+		t.Errorf("Soy locality = %.2f, want <= 0.30", soy)
+	}
+	if gen >= cyc || gen <= soy {
+		t.Errorf("Gen locality = %.2f, want between Soy %.2f and Cyc %.2f", gen, soy, cyc)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule(Input{}); err == nil {
+		t.Error("nil graph accepted")
+	}
+	g := chain(3, 1)
+	if _, err := Schedule(Input{Graph: g}); err == nil {
+		t.Error("no workers accepted")
+	}
+	cyc := dag.New("cyc")
+	a := cyc.AddTask("a", "f")
+	b := cyc.AddTask("b", "f")
+	c := cyc.AddTask("c", "f")
+	cyc.Connect(a, b, 0)
+	cyc.Connect(b, c, 0)
+	cyc.Connect(c, a, 0)
+	in := baseInput(cyc, 2)
+	if _, err := Schedule(in); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestScheduleDoesNotMutateCallerGraph(t *testing.T) {
+	g := chain(5, 1<<20)
+	before := g.Edges()
+	if _, err := Schedule(baseInput(g, 2)); err != nil {
+		t.Fatal(err)
+	}
+	after := g.Edges()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("edge %d mutated: %+v -> %+v", i, before[i], after[i])
+		}
+	}
+}
+
+func TestScaleFeedbackIncreasesDemand(t *testing.T) {
+	g := chain(4, 1<<20)
+	in := baseInput(g, 2)
+	for _, w := range in.Workers {
+		in.Cap[w] = 6
+	}
+	in.Scale = map[dag.NodeID]float64{0: 3, 1: 3, 2: 3, 3: 3} // demand 12 total
+	p, err := Schedule(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With cap 6 and per-node demand 3, at most 2 nodes per group.
+	for _, grp := range p.Groups {
+		if grp.Demand > 6+1e-9 {
+			t.Fatalf("group demand %.1f exceeds cap", grp.Demand)
+		}
+	}
+	if len(p.Groups) < 2 {
+		t.Fatal("scale feedback ignored: everything merged")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	b := workloads.Genome(50)
+	run := func() *Placement {
+		in := baseInput(b.Graph, 7)
+		in.Contention = b.Contention
+		p, err := Schedule(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	p1, p2 := run(), run()
+	if len(p1.Groups) != len(p2.Groups) {
+		t.Fatalf("group counts differ: %d vs %d", len(p1.Groups), len(p2.Groups))
+	}
+	for id, w := range p1.Worker {
+		if p2.Worker[id] != w {
+			t.Fatalf("node %d placed differently: %s vs %s", id, w, p2.Worker[id])
+		}
+	}
+}
+
+// Property: every node is assigned to exactly one group and one worker;
+// group demands never exceed worker capacity; localized bytes respect the
+// quota. Checked across random graphs.
+func TestPlacementInvariantProperty(t *testing.T) {
+	f := func(seed uint64, nRaw, capRaw uint8) bool {
+		n := int(nRaw%30) + 2
+		cap := int(capRaw%20) + 2
+		g := dag.New("rand")
+		rng := seed
+		next := func() uint64 {
+			rng += 0x9e3779b97f4a7c15
+			z := rng
+			z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+			return z ^ (z >> 27)
+		}
+		for i := 0; i < n; i++ {
+			g.AddTask("n", "f")
+		}
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if next()%4 == 0 {
+					g.Connect(dag.NodeID(i), dag.NodeID(j), int64(next()%(1<<20)))
+				}
+			}
+		}
+		in := baseInput(g, 3)
+		for _, w := range in.Workers {
+			in.Cap[w] = cap
+		}
+		in.Quota = int64(next() % (10 << 20))
+		in.Seed = seed
+		p, err := Schedule(in)
+		if err != nil {
+			// Infeasible inputs (total demand beyond cluster capacity)
+			// must be rejected, not silently overloaded.
+			return n > 3*cap
+		}
+		seen := map[dag.NodeID]int{}
+		for gi, grp := range p.Groups {
+			for _, id := range grp.Nodes {
+				if _, dup := seen[id]; dup {
+					return false
+				}
+				seen[id] = gi
+			}
+			if grp.Demand > float64(cap)+1e-9 {
+				return false
+			}
+		}
+		if len(seen) != g.Len() {
+			return false
+		}
+		use := map[string]float64{}
+		for _, grp := range p.Groups {
+			use[grp.Worker] += grp.Demand
+		}
+		for _, u := range use {
+			if u > float64(cap)+1e-9 {
+				return false
+			}
+		}
+		return p.LocalizedBytes <= in.Quota
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkScheduleGenome50(b *testing.B) {
+	bench := workloads.Genome(50)
+	in := baseInput(bench.Graph, 7)
+	in.Contention = bench.Contention
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkScheduleGenome200(b *testing.B) {
+	bench := workloads.Genome(200)
+	in := baseInput(bench.Graph, 7)
+	in.Contention = bench.Contention
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Schedule(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestPlacementString(t *testing.T) {
+	g := chain(4, 1<<20)
+	p, err := Schedule(baseInput(g, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.String()
+	if !strings.Contains(s, "group 0 on") || !strings.Contains(s, "iterations") {
+		t.Fatalf("String() = %q", s)
+	}
+}

@@ -1,0 +1,197 @@
+// Package sim provides a deterministic discrete-event simulation kernel.
+//
+// All FaaSFlow substrates (network fabric, container pool, storage, workflow
+// engines) run on top of a single Env: a virtual clock plus an event queue.
+// Events scheduled for the same instant fire in scheduling order, so a run
+// with the same inputs always produces the same trace.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is an absolute instant of virtual time, in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration converts a virtual instant to the elapsed time.Duration since
+// the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports the instant as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return float64(t) / float64(time.Second) }
+
+// Milliseconds reports the instant as floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(time.Millisecond) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// MaxTime is the largest representable virtual instant.
+const MaxTime = Time(math.MaxInt64)
+
+// Event is a scheduled callback. The zero value is meaningless; events are
+// created with Env.Schedule or Env.At.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index, -1 when not queued
+	canceled bool
+}
+
+// At reports the virtual instant the event will fire.
+func (ev *Event) At() Time { return ev.at }
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (ev *Event) Cancel() { ev.canceled = true }
+
+// Canceled reports whether Cancel was called on the event.
+func (ev *Event) Canceled() bool { return ev.canceled }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Env is a discrete-event simulation environment. It is not safe for
+// concurrent use; the whole simulation is single-threaded by design so that
+// every run is reproducible.
+type Env struct {
+	now     Time
+	queue   eventQueue
+	nextSeq uint64
+	fired   uint64
+	running bool
+}
+
+// NewEnv returns an environment with the clock at zero and an empty queue.
+func NewEnv() *Env { return &Env{} }
+
+// Now reports the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Pending reports how many events are queued (including canceled ones that
+// have not yet been discarded).
+func (e *Env) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have executed so far.
+func (e *Env) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run after delay. A negative delay is treated as
+// zero. It returns the event so the caller may cancel it.
+func (e *Env) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.At(e.now+Time(delay), fn)
+}
+
+// At queues fn to run at absolute virtual instant t. Scheduling in the past
+// panics: it would silently reorder causality.
+func (e *Env) At(t Time, fn func()) *Event {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	if fn == nil {
+		panic("sim: scheduling nil callback")
+	}
+	ev := &Event{at: t, seq: e.nextSeq, fn: fn, index: -1}
+	e.nextSeq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Step fires the next event. It reports false when the queue is empty.
+func (e *Env) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.at
+		e.fired++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty.
+func (e *Env) Run() {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+}
+
+// RunUntil fires events with timestamps <= deadline, then advances the clock
+// to the deadline (if the simulation hasn't already passed it).
+func (e *Env) RunUntil(deadline Time) {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// peek returns the timestamp of the next live event.
+func (e *Env) peek() (Time, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].canceled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}
+
+// NextAt reports the timestamp of the next pending event, or MaxTime when
+// the queue is empty.
+func (e *Env) NextAt() Time {
+	if t, ok := e.peek(); ok {
+		return t
+	}
+	return MaxTime
+}

@@ -1,0 +1,169 @@
+package store
+
+// This file implements the paper's §4.3.2 alternative for MicroVM-based
+// sandboxes: dynamic memory hot-unplug (ballooning/virtio-mem) is too
+// unstable to reclaim container memory into one pooled store, so the
+// in-memory storage is instead "distributed among all MicroVMs" — each VM
+// contributes a fixed shard, and a value must fit inside a single shard.
+// Compared with the pooled MemKV this fragments the quota: total free
+// space can be ample while every individual shard is too small for a
+// large object.
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// PartitionedMemKV is a sharded in-memory store: the MicroVM deployment
+// model of FaaStore. It intentionally mirrors MemKV's API so Hybrid-style
+// code can use either.
+type PartitionedMemKV struct {
+	env  *sim.Env
+	node string
+
+	// Bandwidth and OpLatency follow MemKV's local-copy cost model.
+	Bandwidth float64
+	OpLatency time.Duration
+
+	shardQuota int64
+	used       []int64
+	values     map[string]partEntry
+	stats      Stats
+}
+
+type partEntry struct {
+	shard int
+	size  int64
+}
+
+// NewPartitionedMemKV creates a store of `shards` MicroVM shards, each
+// holding at most shardQuota bytes.
+func NewPartitionedMemKV(env *sim.Env, node string, shards int, shardQuota int64) *PartitionedMemKV {
+	if shards <= 0 {
+		panic("store: need at least one shard")
+	}
+	if shardQuota < 0 {
+		panic("store: negative shard quota")
+	}
+	return &PartitionedMemKV{
+		env:        env,
+		node:       node,
+		Bandwidth:  150e6,
+		OpLatency:  100 * time.Microsecond,
+		shardQuota: shardQuota,
+		used:       make([]int64, shards),
+		values:     map[string]partEntry{},
+	}
+}
+
+// Node reports the worker this store belongs to.
+func (s *PartitionedMemKV) Node() string { return s.node }
+
+// Shards reports the shard count.
+func (s *PartitionedMemKV) Shards() int { return len(s.used) }
+
+// ShardQuota reports the per-shard capacity.
+func (s *PartitionedMemKV) ShardQuota() int64 { return s.shardQuota }
+
+// Quota reports total capacity across shards.
+func (s *PartitionedMemKV) Quota() int64 { return s.shardQuota * int64(len(s.used)) }
+
+// Used reports total bytes held.
+func (s *PartitionedMemKV) Used() int64 {
+	var sum int64
+	for _, u := range s.used {
+		sum += u
+	}
+	return sum
+}
+
+// TryPut places the value in the fullest shard that still fits it
+// (best-fit keeps large shards free for large objects). It reports false
+// when no single shard can hold the value — even if the summed free space
+// could.
+func (s *PartitionedMemKV) TryPut(key string, size int64, done func()) bool {
+	if done == nil {
+		done = func() {}
+	}
+	best := -1
+	var bestFree int64
+	for i, u := range s.used {
+		free := s.shardQuota - u
+		if free < size {
+			continue
+		}
+		if best == -1 || free < bestFree {
+			best, bestFree = i, free
+		}
+	}
+	if best == -1 {
+		return false
+	}
+	s.used[best] += size
+	s.values[key] = partEntry{shard: best, size: size}
+	s.stats.Puts++
+	s.stats.BytesPut += size
+	start := s.env.Now()
+	s.env.Schedule(s.copyTime(size), func() {
+		s.stats.TransferTime += (s.env.Now() - start).Duration()
+		done()
+	})
+	return true
+}
+
+// Get reads a key; done receives the size and whether it existed.
+func (s *PartitionedMemKV) Get(key string, done func(size int64, ok bool)) {
+	if done == nil {
+		done = func(int64, bool) {}
+	}
+	e, ok := s.values[key]
+	s.stats.Gets++
+	if ok {
+		s.stats.BytesGot += e.size
+	}
+	start := s.env.Now()
+	s.env.Schedule(s.copyTime(e.size), func() {
+		s.stats.TransferTime += (s.env.Now() - start).Duration()
+		done(e.size, ok)
+	})
+}
+
+// Has reports whether key is resident.
+func (s *PartitionedMemKV) Has(key string) bool {
+	_, ok := s.values[key]
+	return ok
+}
+
+// Delete releases a key's shard space.
+func (s *PartitionedMemKV) Delete(key string) {
+	if e, ok := s.values[key]; ok {
+		s.used[e.shard] -= e.size
+		delete(s.values, key)
+	}
+}
+
+// Len reports resident keys.
+func (s *PartitionedMemKV) Len() int { return len(s.values) }
+
+// Stats returns cumulative counters.
+func (s *PartitionedMemKV) Stats() Stats { return s.stats }
+
+// Fragmentation reports free space unusable for an object of the given
+// size: total free bytes minus free bytes in shards that could still hold
+// such an object. Zero means no fragmentation penalty at that size.
+func (s *PartitionedMemKV) Fragmentation(size int64) int64 {
+	var totalFree, usableFree int64
+	for _, u := range s.used {
+		free := s.shardQuota - u
+		totalFree += free
+		if free >= size {
+			usableFree += free
+		}
+	}
+	return totalFree - usableFree
+}
+
+func (s *PartitionedMemKV) copyTime(size int64) time.Duration {
+	return s.OpLatency + time.Duration(float64(size)/s.Bandwidth*float64(time.Second))
+}

@@ -1,0 +1,144 @@
+package store
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestPartitionedBasicPutGet(t *testing.T) {
+	env := sim.NewEnv()
+	p := NewPartitionedMemKV(env, "w1", 4, 1000)
+	if p.Shards() != 4 || p.Quota() != 4000 || p.ShardQuota() != 1000 {
+		t.Fatalf("geometry wrong: %d/%d/%d", p.Shards(), p.Quota(), p.ShardQuota())
+	}
+	if !p.TryPut("a", 600, nil) {
+		t.Fatal("put rejected")
+	}
+	var size int64
+	var ok bool
+	p.Get("a", func(s int64, o bool) { size, ok = s, o })
+	env.Run()
+	if !ok || size != 600 {
+		t.Fatalf("Get = (%d, %v)", size, ok)
+	}
+	if p.Used() != 600 || p.Len() != 1 {
+		t.Fatalf("Used=%d Len=%d", p.Used(), p.Len())
+	}
+	p.Delete("a")
+	if p.Used() != 0 || p.Has("a") {
+		t.Fatal("delete did not release")
+	}
+}
+
+func TestPartitionedRejectsOversizedValueDespiteTotalFreeSpace(t *testing.T) {
+	env := sim.NewEnv()
+	p := NewPartitionedMemKV(env, "w1", 4, 1000)
+	// Fill each shard to 700 (a 700 never shares a shard with another):
+	// total free = 1200, but max contiguous = 300.
+	for i := 0; i < 4; i++ {
+		if !p.TryPut(string(rune('a'+i)), 700, nil) {
+			t.Fatal("setup put failed")
+		}
+	}
+	if p.TryPut("big", 600, nil) {
+		t.Fatal("oversized value accepted — shards are not contiguous space")
+	}
+	if got := p.Fragmentation(600); got != 1200 {
+		t.Fatalf("Fragmentation(600) = %d, want 1200", got)
+	}
+	if got := p.Fragmentation(300); got != 0 {
+		t.Fatalf("Fragmentation(300) = %d, want 0", got)
+	}
+	env.Run()
+}
+
+func TestPartitionedBestFitPacking(t *testing.T) {
+	env := sim.NewEnv()
+	p := NewPartitionedMemKV(env, "w1", 2, 1000)
+	p.TryPut("half", 500, nil) // shard 0 at 500
+	// Best-fit: the 300 should go into the fuller shard (free 500 < 1000).
+	p.TryPut("small", 300, nil)
+	// Now a 900 must still fit (shard 1 untouched).
+	if !p.TryPut("big", 900, nil) {
+		t.Fatal("best-fit failed to preserve the empty shard")
+	}
+	env.Run()
+}
+
+func TestPartitionedConstructorPanics(t *testing.T) {
+	env := sim.NewEnv()
+	for _, tc := range []func(){
+		func() { NewPartitionedMemKV(env, "w", 0, 10) },
+		func() { NewPartitionedMemKV(env, "w", 2, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("bad constructor did not panic")
+				}
+			}()
+			tc()
+		}()
+	}
+}
+
+func TestPartitionedMissingKey(t *testing.T) {
+	env := sim.NewEnv()
+	p := NewPartitionedMemKV(env, "w1", 2, 100)
+	ok := true
+	p.Get("ghost", func(s int64, o bool) { ok = o })
+	env.Run()
+	if ok {
+		t.Fatal("missing key reported present")
+	}
+}
+
+// Property: total usage equals the sum of live values and never exceeds
+// total quota; a rejected put of size <= shardQuota implies real
+// fragmentation (no single shard could hold it).
+func TestPartitionedInvariantProperty(t *testing.T) {
+	f := func(seed uint64, shardsRaw, quotaRaw uint8) bool {
+		shards := int(shardsRaw%6) + 1
+		quota := int64(quotaRaw)*16 + 64
+		rng := sim.NewRand(seed)
+		env := sim.NewEnv()
+		p := NewPartitionedMemKV(env, "w", shards, quota)
+		live := map[string]int64{}
+		var sum int64
+		for i := 0; i < 150; i++ {
+			key := string(rune('a' + rng.Intn(12)))
+			if rng.Float64() < 0.6 {
+				if _, exists := live[key]; exists {
+					continue
+				}
+				size := int64(rng.Intn(int(quota) + 20))
+				if p.TryPut(key, size, nil) {
+					live[key] = size
+					sum += size
+				} else if size <= quota {
+					// Rejection of a shard-sized value: every shard's free
+					// space must be below size, i.e. all remaining free
+					// space is fragmentation at this size.
+					totalFree := p.Quota() - p.Used()
+					if p.Fragmentation(size) != totalFree {
+						return false
+					}
+				}
+			} else if sz, ok := live[key]; ok {
+				p.Delete(key)
+				sum -= sz
+				delete(live, key)
+			}
+			if p.Used() != sum || p.Used() > p.Quota() {
+				return false
+			}
+		}
+		env.Run()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

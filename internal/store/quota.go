@@ -1,0 +1,47 @@
+package store
+
+// This file implements the FaaStore in-memory quota model (paper §4.3.1).
+//
+// A function's container is provisioned with Mem(v) bytes but historically
+// peaks at S bytes; FaaStore reclaims the over-provisioned slack, keeping a
+// safety margin μ for occasional spikes:
+//
+//	O(v)      = max(Mem(v) − S − μ, 0) · Map(v)        (Equation 1)
+//	Quota(G)  = Σ_v O(v)                               (Equation 2)
+//
+// Map(v) is the average number of data-plane executors a foreach node fans
+// out to; 1 elsewhere.
+
+// FunctionMem describes one function node's memory profile for quota
+// computation.
+type FunctionMem struct {
+	// Provisioned is Mem(v): the container memory limit in bytes.
+	Provisioned int64
+	// PeakUsage is S: the function's historical high-water mark in bytes.
+	PeakUsage int64
+	// Map is the node's average executor fan-out (>= 1).
+	Map float64
+}
+
+// Overprovision computes O(v) per Equation 1 with safety margin mu.
+func Overprovision(f FunctionMem, mu int64) int64 {
+	slack := f.Provisioned - f.PeakUsage - mu
+	if slack < 0 {
+		slack = 0
+	}
+	m := f.Map
+	if m < 1 {
+		m = 1
+	}
+	return int64(float64(slack) * m)
+}
+
+// QuotaOf computes Quota(G) per Equation 2: the in-memory storage budget a
+// workflow's reclaimed container memory can back on the node(s) hosting it.
+func QuotaOf(fs []FunctionMem, mu int64) int64 {
+	var total int64
+	for _, f := range fs {
+		total += Overprovision(f, mu)
+	}
+	return total
+}

@@ -1,0 +1,393 @@
+// Package store implements the three storage substrates of the FaaSFlow
+// evaluation:
+//
+//   - RemoteKV: the remote key-value database (CouchDB in the paper),
+//     attached to the storage node and reached through the network fabric —
+//     every put/get pays request latency plus bytes over the storage node's
+//     link.
+//   - MemKV: the per-worker in-memory store (Redis in the paper), holding
+//     intermediate data inside reclaimed container memory, subject to the
+//     FaaStore quota.
+//   - Hybrid: the FaaStore adaptive selector (paper §3.2, §4.3). Writes go
+//     to worker-local memory when every consumer of the value runs on the
+//     producing worker and quota remains; otherwise to the remote store.
+//
+// All operations are asynchronous against the simulation clock and report
+// completion through callbacks, like every other substrate in this
+// repository.
+package store
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/sim"
+)
+
+// Location says where a value physically lives.
+type Location int
+
+const (
+	// LocNone marks a missing value.
+	LocNone Location = iota
+	// LocRemote marks a value in the remote database.
+	LocRemote
+	// LocMemory marks a value in a worker's in-memory store.
+	LocMemory
+)
+
+func (l Location) String() string {
+	switch l {
+	case LocNone:
+		return "none"
+	case LocRemote:
+		return "remote"
+	case LocMemory:
+		return "memory"
+	default:
+		return fmt.Sprintf("Location(%d)", int(l))
+	}
+}
+
+// Stats aggregates data-movement accounting for one store.
+type Stats struct {
+	Puts, Gets   int64
+	BytesPut     int64
+	BytesGot     int64
+	TransferTime time.Duration // cumulative wall-clock of all transfers
+}
+
+// RemoteKV is the remote database service. Values are identified by string
+// keys; only sizes are stored — the simulation never materializes payloads.
+type RemoteKV struct {
+	env  *sim.Env
+	fab  *network.Fabric
+	node string // the storage node's fabric ID
+
+	// OpLatency is the fixed per-request overhead of the database engine
+	// (request parsing, index lookup, fsync amortization).
+	OpLatency time.Duration
+
+	values map[string]int64
+	stats  Stats
+}
+
+// NewRemoteKV creates a remote store homed on the given fabric node.
+func NewRemoteKV(env *sim.Env, fab *network.Fabric, node string, opLatency time.Duration) *RemoteKV {
+	if !fab.HasNode(node) {
+		panic(fmt.Sprintf("store: remote KV node %q not in fabric", node))
+	}
+	return &RemoteKV{env: env, fab: fab, node: node, OpLatency: opLatency, values: map[string]int64{}}
+}
+
+// Node reports the fabric node the store is attached to.
+func (s *RemoteKV) Node() string { return s.node }
+
+// Put uploads size bytes from worker `from` under key and calls done when
+// the database has acknowledged the write.
+func (s *RemoteKV) Put(from, key string, size int64, done func()) {
+	if done == nil {
+		done = func() {}
+	}
+	start := s.env.Now()
+	s.stats.Puts++
+	s.stats.BytesPut += size
+	s.fab.Send(from, s.node, size, func() {
+		s.env.Schedule(s.OpLatency, func() {
+			s.values[key] = size
+			s.stats.TransferTime += (s.env.Now() - start).Duration()
+			done()
+		})
+	})
+}
+
+// Get downloads the value under key to worker `to`. done receives the value
+// size and whether the key existed; a missing key still pays the request
+// round-trip but moves no payload.
+func (s *RemoteKV) Get(to, key string, done func(size int64, ok bool)) {
+	if done == nil {
+		done = func(int64, bool) {}
+	}
+	start := s.env.Now()
+	s.stats.Gets++
+	size, ok := s.values[key]
+	if !ok {
+		s.fab.SendMsg(to, s.node, 128, func() {
+			s.env.Schedule(s.OpLatency, func() {
+				s.fab.SendMsg(s.node, to, 128, func() {
+					s.stats.TransferTime += (s.env.Now() - start).Duration()
+					done(0, false)
+				})
+			})
+		})
+		return
+	}
+	s.stats.BytesGot += size
+	// Request, lookup, then payload back.
+	s.fab.SendMsg(to, s.node, 128, func() {
+		s.env.Schedule(s.OpLatency, func() {
+			s.fab.Send(s.node, to, size, func() {
+				s.stats.TransferTime += (s.env.Now() - start).Duration()
+				done(size, true)
+			})
+		})
+	})
+}
+
+// Delete removes a key (no network cost is modeled for deletes — they ride
+// existing control traffic).
+func (s *RemoteKV) Delete(key string) { delete(s.values, key) }
+
+// Has reports whether key is stored.
+func (s *RemoteKV) Has(key string) bool {
+	_, ok := s.values[key]
+	return ok
+}
+
+// Len reports the number of stored keys.
+func (s *RemoteKV) Len() int { return len(s.values) }
+
+// Stats returns cumulative counters.
+func (s *RemoteKV) Stats() Stats { return s.stats }
+
+// MemKV is the in-memory store on one worker node. Capacity comes from
+// FaaStore's container-memory reclamation and is enforced strictly: a put
+// that would exceed the quota fails, forcing the caller to fall back to the
+// remote store (the paper's guarantee that FaaStore never adds memory
+// pressure to the host).
+type MemKV struct {
+	env  *sim.Env
+	node string
+
+	// Bandwidth is the effective memory-copy bandwidth for local data
+	// exchange (bytes/sec).
+	Bandwidth float64
+	// OpLatency is the fixed per-operation overhead (hash lookup, IPC).
+	OpLatency time.Duration
+
+	quota  int64
+	used   int64
+	values map[string]int64
+	stats  Stats
+}
+
+// NewMemKV creates an in-memory store for a worker node with the given
+// quota in bytes.
+func NewMemKV(env *sim.Env, node string, quota int64) *MemKV {
+	if quota < 0 {
+		panic("store: negative quota")
+	}
+	return &MemKV{
+		env:  env,
+		node: node,
+		// Redis over loopback with client-side (de)serialization moves
+		// ~150 MB/s effective — the local path is latency-free but not
+		// free; the paper's Table 4 FaaStore latencies reflect this.
+		Bandwidth: 150e6,
+		OpLatency: 100 * time.Microsecond,
+		quota:     quota,
+		values:    map[string]int64{},
+	}
+}
+
+// Node reports the worker this store belongs to.
+func (s *MemKV) Node() string { return s.node }
+
+// Quota reports the current capacity in bytes.
+func (s *MemKV) Quota() int64 { return s.quota }
+
+// Used reports the bytes currently held.
+func (s *MemKV) Used() int64 { return s.used }
+
+// SetQuota updates capacity (each partition iteration recomputes the quota
+// from container reclamation). Shrinking below current usage is allowed;
+// existing data stays, but new puts fail until usage drains.
+func (s *MemKV) SetQuota(q int64) {
+	if q < 0 {
+		panic("store: negative quota")
+	}
+	s.quota = q
+}
+
+// TryPut stores size bytes under key if quota allows, reporting success
+// synchronously and completing after the local copy time. On failure the
+// caller is expected to fall back to the remote store.
+func (s *MemKV) TryPut(key string, size int64, done func()) bool {
+	if s.used+size > s.quota {
+		return false
+	}
+	if done == nil {
+		done = func() {}
+	}
+	s.used += size
+	s.values[key] = size
+	s.stats.Puts++
+	s.stats.BytesPut += size
+	d := s.copyTime(size)
+	start := s.env.Now()
+	s.env.Schedule(d, func() {
+		s.stats.TransferTime += (s.env.Now() - start).Duration()
+		done()
+	})
+	return true
+}
+
+// Get reads a key; done receives the size and whether it existed.
+func (s *MemKV) Get(key string, done func(size int64, ok bool)) {
+	if done == nil {
+		done = func(int64, bool) {}
+	}
+	size, ok := s.values[key]
+	s.stats.Gets++
+	if ok {
+		s.stats.BytesGot += size
+	}
+	d := s.copyTime(size)
+	start := s.env.Now()
+	s.env.Schedule(d, func() {
+		s.stats.TransferTime += (s.env.Now() - start).Duration()
+		done(size, ok)
+	})
+}
+
+// Has reports whether key is resident.
+func (s *MemKV) Has(key string) bool {
+	_, ok := s.values[key]
+	return ok
+}
+
+// Delete releases a key's memory.
+func (s *MemKV) Delete(key string) {
+	if size, ok := s.values[key]; ok {
+		s.used -= size
+		delete(s.values, key)
+	}
+}
+
+// Len reports the number of resident keys.
+func (s *MemKV) Len() int { return len(s.values) }
+
+// Stats returns cumulative counters.
+func (s *MemKV) Stats() Stats { return s.stats }
+
+func (s *MemKV) copyTime(size int64) time.Duration {
+	return s.OpLatency + time.Duration(float64(size)/s.Bandwidth*float64(time.Second))
+}
+
+// Hybrid is FaaStore: per-worker adaptive storage that keeps data local
+// when all consumers are local and quota allows, spilling to the remote
+// database otherwise.
+type Hybrid struct {
+	remote *RemoteKV
+	mem    map[string]*MemKV // worker node -> local store
+
+	// placements remembers where each key went so Get doesn't guess.
+	placements map[string]Location
+	homes      map[string]string // key -> worker holding it when in memory
+
+	localHits  int64
+	localMiss  int64
+	remoteOnly bool
+}
+
+// NewHybrid builds a FaaStore over one remote store and the per-worker
+// in-memory stores. remoteOnly disables locality entirely (the paper's
+// plain-FaaSFlow / HyperFlow data path) so experiments can toggle FaaStore.
+func NewHybrid(remote *RemoteKV, mem map[string]*MemKV, remoteOnly bool) *Hybrid {
+	return &Hybrid{
+		remote:     remote,
+		mem:        mem,
+		placements: map[string]Location{},
+		homes:      map[string]string{},
+		remoteOnly: remoteOnly,
+	}
+}
+
+// Put stores a value produced on worker `from`. consumers lists the worker
+// nodes that will read the key. The value goes to local memory only when
+// FaaStore is active, every consumer is the producing worker, and the local
+// quota holds it; otherwise it goes remote. done receives the chosen
+// location.
+func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func(Location)) {
+	if done == nil {
+		done = func(Location) {}
+	}
+	if !h.remoteOnly && h.allLocal(from, consumers) {
+		if m := h.mem[from]; m != nil && m.TryPut(key, size, func() { done(LocMemory) }) {
+			h.placements[key] = LocMemory
+			h.homes[key] = from
+			return
+		}
+	}
+	h.placements[key] = LocRemote
+	h.remote.Put(from, key, size, func() { done(LocRemote) })
+}
+
+func (h *Hybrid) allLocal(from string, consumers []string) bool {
+	if len(consumers) == 0 {
+		return false // terminal outputs go to the database (user-visible)
+	}
+	for _, c := range consumers {
+		if c != from {
+			return false
+		}
+	}
+	return true
+}
+
+// Get reads key from worker node `at`, checking local memory first.
+func (h *Hybrid) Get(at, key string, done func(size int64, ok bool)) {
+	if done == nil {
+		done = func(int64, bool) {}
+	}
+	if h.placements[key] == LocMemory && h.homes[key] == at {
+		if m := h.mem[at]; m != nil && m.Has(key) {
+			h.localHits++
+			m.Get(key, done)
+			return
+		}
+	}
+	h.localMiss++
+	h.remote.Get(at, key, done)
+}
+
+// Where reports a key's recorded placement.
+func (h *Hybrid) Where(key string) Location { return h.placements[key] }
+
+// Delete releases a key from whichever store holds it.
+func (h *Hybrid) Delete(key string) {
+	switch h.placements[key] {
+	case LocMemory:
+		if m := h.mem[h.homes[key]]; m != nil {
+			m.Delete(key)
+		}
+	case LocRemote:
+		h.remote.Delete(key)
+	}
+	delete(h.placements, key)
+	delete(h.homes, key)
+}
+
+// LocalHits reports how many Gets were served from worker memory.
+func (h *Hybrid) LocalHits() int64 { return h.localHits }
+
+// LocalMisses reports how many Gets went to the remote store.
+func (h *Hybrid) LocalMisses() int64 { return h.localMiss }
+
+// Remote exposes the underlying remote store (for stats).
+func (h *Hybrid) Remote() *RemoteKV { return h.remote }
+
+// Mem exposes a worker's local store (nil if unknown).
+func (h *Hybrid) Mem(node string) *MemKV { return h.mem[node] }
+
+// TransferTime sums cumulative transfer time across the remote store and
+// every local store — the paper's Table 4 "overall latencies of data
+// movement in all edges" metric.
+func (h *Hybrid) TransferTime() time.Duration {
+	total := h.remote.Stats().TransferTime
+	for _, m := range h.mem {
+		total += m.Stats().TransferTime
+	}
+	return total
+}

@@ -1,0 +1,341 @@
+// Package viz renders experiment results as standalone SVG figures — the
+// reproduction's equivalent of the artifact's draw.sh. Two chart shapes
+// cover every figure in the paper: grouped bar charts (Figs 4, 5, 11, 13,
+// 14) and multi-series line charts (Figs 12, 16).
+//
+// The output is deliberately simple, dependency-free SVG: rect/line/text
+// elements with computed coordinates, valid XML, and a light grid. Charts
+// render deterministically.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// palette holds the series colors (color-blind-safe Okabe–Ito subset).
+var palette = []string{"#0072B2", "#E69F00", "#009E73", "#CC79A7", "#56B4E9", "#D55E00"}
+
+const (
+	chartWidth   = 760
+	chartHeight  = 420
+	marginLeft   = 70
+	marginRight  = 20
+	marginTop    = 48
+	marginBottom = 64
+)
+
+// Series is one named sequence of values.
+type Series struct {
+	Name   string
+	Values []float64
+}
+
+// BarChart is a grouped bar chart: one group per category, one bar per
+// series within each group.
+type BarChart struct {
+	Title      string
+	YLabel     string
+	Categories []string
+	Series     []Series
+	// LogScale plots log10(value); zero/negative values clamp to the axis
+	// floor (needed for Fig 5's 25 MB vs 1182 MB range).
+	LogScale bool
+}
+
+// Validate reports structural problems.
+func (c *BarChart) Validate() error {
+	if len(c.Categories) == 0 {
+		return fmt.Errorf("viz: bar chart %q has no categories", c.Title)
+	}
+	if len(c.Series) == 0 {
+		return fmt.Errorf("viz: bar chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Values) != len(c.Categories) {
+			return fmt.Errorf("viz: series %q has %d values for %d categories",
+				s.Name, len(s.Values), len(c.Categories))
+		}
+	}
+	return nil
+}
+
+// SVG renders the chart.
+func (c *BarChart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	maxVal := 0.0
+	minPos := math.Inf(1)
+	for _, s := range c.Series {
+		for _, v := range s.Values {
+			if v > maxVal {
+				maxVal = v
+			}
+			if v > 0 && v < minPos {
+				minPos = v
+			}
+		}
+	}
+	if maxVal <= 0 {
+		maxVal = 1
+	}
+	var sb strings.Builder
+	header(&sb, c.Title)
+
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+
+	// Y scale.
+	var yOf func(v float64) float64
+	var ticks []float64
+	if c.LogScale {
+		if math.IsInf(minPos, 1) {
+			minPos = 0.1
+		}
+		loMag := math.Floor(math.Log10(minPos))
+		hiMag := math.Ceil(math.Log10(maxVal))
+		if hiMag <= loMag {
+			hiMag = loMag + 1
+		}
+		yOf = func(v float64) float64 {
+			if v < math.Pow(10, loMag) {
+				v = math.Pow(10, loMag)
+			}
+			frac := (math.Log10(v) - loMag) / (hiMag - loMag)
+			return float64(marginTop) + plotH*(1-frac)
+		}
+		for m := loMag; m <= hiMag; m++ {
+			ticks = append(ticks, math.Pow(10, m))
+		}
+	} else {
+		top := niceCeil(maxVal)
+		yOf = func(v float64) float64 {
+			if v < 0 {
+				v = 0
+			}
+			return float64(marginTop) + plotH*(1-v/top)
+		}
+		for i := 0; i <= 4; i++ {
+			ticks = append(ticks, top*float64(i)/4)
+		}
+	}
+	axes(&sb, c.YLabel, ticks, yOf)
+
+	// Bars.
+	groupW := plotW / float64(len(c.Categories))
+	barW := groupW * 0.8 / float64(len(c.Series))
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		for ci, v := range s.Values {
+			x := float64(marginLeft) + groupW*float64(ci) + groupW*0.1 + barW*float64(si)
+			y := yOf(v)
+			h := float64(chartHeight-marginBottom) - y
+			if h < 0 {
+				h = 0
+			}
+			fmt.Fprintf(&sb,
+				`<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s"><title>%s %s: %s</title></rect>`+"\n",
+				x, y, barW, h, color, xmlEscape(s.Name), xmlEscape(c.Categories[ci]), fmtVal(v))
+		}
+	}
+	// Category labels.
+	for ci, cat := range c.Categories {
+		x := float64(marginLeft) + groupW*(float64(ci)+0.5)
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle" font-size="12">%s</text>`+"\n",
+			x, chartHeight-marginBottom+18, xmlEscape(cat))
+	}
+	legend(&sb, seriesNames(c.Series))
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+// LinePoint is one (x, y) sample.
+type LinePoint struct{ X, Y float64 }
+
+// LineSeries is one named polyline.
+type LineSeries struct {
+	Name   string
+	Points []LinePoint
+}
+
+// LineChart is a multi-series XY chart.
+type LineChart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []LineSeries
+}
+
+// Validate reports structural problems.
+func (c *LineChart) Validate() error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("viz: line chart %q has no series", c.Title)
+	}
+	for _, s := range c.Series {
+		if len(s.Points) < 2 {
+			return fmt.Errorf("viz: series %q needs at least 2 points", s.Name)
+		}
+	}
+	return nil
+}
+
+// SVG renders the chart.
+func (c *LineChart) SVG() (string, error) {
+	if err := c.Validate(); err != nil {
+		return "", err
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	maxY := 0.0
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			minX = math.Min(minX, p.X)
+			maxX = math.Max(maxX, p.X)
+			maxY = math.Max(maxY, p.Y)
+		}
+	}
+	if maxY <= 0 {
+		maxY = 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	topY := niceCeil(maxY)
+
+	var sb strings.Builder
+	header(&sb, c.Title)
+	plotW := float64(chartWidth - marginLeft - marginRight)
+	plotH := float64(chartHeight - marginTop - marginBottom)
+	xOf := func(x float64) float64 {
+		return float64(marginLeft) + plotW*(x-minX)/(maxX-minX)
+	}
+	yOf := func(y float64) float64 {
+		return float64(marginTop) + plotH*(1-y/topY)
+	}
+	var ticks []float64
+	for i := 0; i <= 4; i++ {
+		ticks = append(ticks, topY*float64(i)/4)
+	}
+	axes(&sb, c.YLabel, ticks, yOf)
+
+	// X ticks: use each distinct x of the first series.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range c.Series {
+		for _, p := range s.Points {
+			if !seen[p.X] {
+				seen[p.X] = true
+				xs = append(xs, p.X)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	for _, x := range xs {
+		fmt.Fprintf(&sb, `<text x="%.1f" y="%d" text-anchor="middle" font-size="12">%s</text>`+"\n",
+			xOf(x), chartHeight-marginBottom+18, fmtVal(x))
+	}
+	fmt.Fprintf(&sb, `<text x="%d" y="%d" text-anchor="middle" font-size="13">%s</text>`+"\n",
+		marginLeft+int(plotW/2), chartHeight-10, xmlEscape(c.XLabel))
+
+	for si, s := range c.Series {
+		color := palette[si%len(palette)]
+		pts := append([]LinePoint(nil), s.Points...)
+		sort.Slice(pts, func(i, j int) bool { return pts[i].X < pts[j].X })
+		var path []string
+		for _, p := range pts {
+			path = append(path, fmt.Sprintf("%.1f,%.1f", xOf(p.X), yOf(p.Y)))
+		}
+		fmt.Fprintf(&sb, `<polyline fill="none" stroke="%s" stroke-width="2" points="%s"/>`+"\n",
+			color, strings.Join(path, " "))
+		for _, p := range pts {
+			fmt.Fprintf(&sb, `<circle cx="%.1f" cy="%.1f" r="3.5" fill="%s"><title>%s (%s, %s)</title></circle>`+"\n",
+				xOf(p.X), yOf(p.Y), color, xmlEscape(s.Name), fmtVal(p.X), fmtVal(p.Y))
+		}
+	}
+	legend(&sb, lineSeriesNames(c.Series))
+	sb.WriteString("</svg>\n")
+	return sb.String(), nil
+}
+
+// ---------------------------------------------------------------------------
+// shared pieces
+
+func header(sb *strings.Builder, title string) {
+	fmt.Fprintf(sb, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d" font-family="sans-serif">`+"\n",
+		chartWidth, chartHeight, chartWidth, chartHeight)
+	fmt.Fprintf(sb, `<rect width="%d" height="%d" fill="white"/>`+"\n", chartWidth, chartHeight)
+	fmt.Fprintf(sb, `<text x="%d" y="24" text-anchor="middle" font-size="16" font-weight="bold">%s</text>`+"\n",
+		chartWidth/2, xmlEscape(title))
+}
+
+func axes(sb *strings.Builder, yLabel string, ticks []float64, yOf func(float64) float64) {
+	// Plot frame.
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, marginTop, marginLeft, chartHeight-marginBottom)
+	fmt.Fprintf(sb, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="black"/>`+"\n",
+		marginLeft, chartHeight-marginBottom, chartWidth-marginRight, chartHeight-marginBottom)
+	for _, tv := range ticks {
+		y := yOf(tv)
+		fmt.Fprintf(sb, `<line x1="%d" y1="%.1f" x2="%d" y2="%.1f" stroke="#ddd"/>`+"\n",
+			marginLeft, y, chartWidth-marginRight, y)
+		fmt.Fprintf(sb, `<text x="%d" y="%.1f" text-anchor="end" font-size="11">%s</text>`+"\n",
+			marginLeft-6, y+4, fmtVal(tv))
+	}
+	fmt.Fprintf(sb, `<text x="16" y="%d" text-anchor="middle" font-size="13" transform="rotate(-90 16 %d)">%s</text>`+"\n",
+		marginTop+(chartHeight-marginTop-marginBottom)/2, marginTop+(chartHeight-marginTop-marginBottom)/2, xmlEscape(yLabel))
+}
+
+func legend(sb *strings.Builder, names []string) {
+	x := marginLeft + 10
+	for i, name := range names {
+		color := palette[i%len(palette)]
+		fmt.Fprintf(sb, `<rect x="%d" y="%d" width="12" height="12" fill="%s"/>`+"\n", x, marginTop-16, color)
+		fmt.Fprintf(sb, `<text x="%d" y="%d" font-size="12">%s</text>`+"\n", x+16, marginTop-6, xmlEscape(name))
+		x += 16 + 8*len(name) + 24
+	}
+}
+
+func seriesNames(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func lineSeriesNames(ss []LineSeries) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// niceCeil rounds up to a 1/2/5 × 10^k boundary.
+func niceCeil(v float64) float64 {
+	if v <= 0 {
+		return 1
+	}
+	mag := math.Pow(10, math.Floor(math.Log10(v)))
+	for _, m := range []float64{1, 2, 5, 10} {
+		if v <= m*mag {
+			return m * mag
+		}
+	}
+	return 10 * mag
+}
+
+// fmtVal prints a number compactly (no trailing zeros).
+func fmtVal(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e7 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.2f", v), "0"), ".")
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;", "'", "&apos;")
+	return r.Replace(s)
+}

@@ -1,0 +1,263 @@
+package viz
+
+import (
+	"encoding/xml"
+	"math"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleBar() *BarChart {
+	return &BarChart{
+		Title:      "Scheduling overhead",
+		YLabel:     "overhead (ms)",
+		Categories: []string{"Cyc", "Epi", "Vid"},
+		Series: []Series{
+			{Name: "HyperFlow-serverless", Values: []float64{865, 527, 160}},
+			{Name: "FaaSFlow", Values: []float64{421, 70, 43}},
+		},
+	}
+}
+
+func sampleLine() *LineChart {
+	return &LineChart{
+		Title:  "p99 vs bandwidth",
+		XLabel: "storage bandwidth (MB/s)",
+		YLabel: "p99 (s)",
+		Series: []LineSeries{
+			{Name: "HyperFlow", Points: []LinePoint{{25, 6.8}, {50, 5.0}, {100, 4.1}}},
+			{Name: "FaaSFlow-FaaStore", Points: []LinePoint{{25, 3.6}, {50, 3.6}, {100, 3.6}}},
+		},
+	}
+}
+
+// assertValidXML parses the SVG output to confirm it is well-formed.
+func assertValidXML(t *testing.T, svg string) {
+	t.Helper()
+	dec := xml.NewDecoder(strings.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("invalid XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+func TestBarChartSVG(t *testing.T) {
+	svg, err := sampleBar().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidXML(t, svg)
+	for _, want := range []string{
+		"Scheduling overhead", "overhead (ms)", "Cyc", "Epi", "Vid",
+		"HyperFlow-serverless", "FaaSFlow", "<rect", "<line",
+	} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	// 2 series x 3 categories = 6 data bars (plus the background rect and
+	// legend swatches).
+	if got := strings.Count(svg, "<title>"); got != 6 {
+		t.Errorf("data bars = %d, want 6", got)
+	}
+}
+
+func TestBarChartLogScale(t *testing.T) {
+	c := &BarChart{
+		Title:      "Data movement",
+		YLabel:     "MB",
+		Categories: []string{"Cyc", "Vid"},
+		Series: []Series{
+			{Name: "monolithic", Values: []float64{24, 4.2}},
+			{Name: "FaaS", Values: []float64{1182, 97}},
+		},
+		LogScale: true,
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidXML(t, svg)
+	// Log ticks should include powers of ten.
+	if !strings.Contains(svg, ">10<") || !strings.Contains(svg, ">1000<") {
+		t.Errorf("log ticks missing:\n%s", svg[:400])
+	}
+}
+
+func TestBarChartTallerBarForLargerValue(t *testing.T) {
+	c := &BarChart{
+		Categories: []string{"a", "b"},
+		Series:     []Series{{Name: "s", Values: []float64{10, 40}}},
+	}
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Extract bar heights from the two data rects.
+	heights := barHeights(t, svg)
+	if len(heights) != 2 {
+		t.Fatalf("bars = %d", len(heights))
+	}
+	if !(heights[1] > heights[0]*3.5 && heights[1] < heights[0]*4.5) {
+		t.Fatalf("heights %v not ~4x apart", heights)
+	}
+}
+
+func barHeights(t *testing.T, svg string) []float64 {
+	t.Helper()
+	var out []float64
+	for _, line := range strings.Split(svg, "\n") {
+		if !strings.Contains(line, "<title>") || !strings.HasPrefix(line, "<rect") {
+			continue
+		}
+		i := strings.Index(line, `height="`)
+		if i < 0 {
+			continue
+		}
+		rest := line[i+len(`height="`):]
+		j := strings.Index(rest, `"`)
+		h, err := strconv.ParseFloat(rest[:j], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
+func TestBarChartValidation(t *testing.T) {
+	if _, err := (&BarChart{Title: "x"}).SVG(); err == nil {
+		t.Error("empty chart accepted")
+	}
+	if _, err := (&BarChart{Categories: []string{"a"}}).SVG(); err == nil {
+		t.Error("no-series chart accepted")
+	}
+	c := &BarChart{Categories: []string{"a", "b"}, Series: []Series{{Name: "s", Values: []float64{1}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("mismatched series length accepted")
+	}
+}
+
+func TestLineChartSVG(t *testing.T) {
+	svg, err := sampleLine().SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidXML(t, svg)
+	for _, want := range []string{"p99 vs bandwidth", "polyline", "circle", "storage bandwidth"} {
+		if !strings.Contains(svg, want) {
+			t.Errorf("SVG missing %q", want)
+		}
+	}
+	if got := strings.Count(svg, "<polyline"); got != 2 {
+		t.Errorf("polylines = %d, want 2", got)
+	}
+	if got := strings.Count(svg, "<circle"); got != 6 {
+		t.Errorf("points = %d, want 6", got)
+	}
+}
+
+func TestLineChartValidation(t *testing.T) {
+	if _, err := (&LineChart{}).SVG(); err == nil {
+		t.Error("empty line chart accepted")
+	}
+	c := &LineChart{Series: []LineSeries{{Name: "s", Points: []LinePoint{{1, 1}}}}}
+	if _, err := c.SVG(); err == nil {
+		t.Error("single-point series accepted")
+	}
+}
+
+func TestXMLEscaping(t *testing.T) {
+	c := sampleBar()
+	c.Title = `a < b & "c"`
+	c.Series[0].Name = "x<y"
+	svg, err := c.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertValidXML(t, svg)
+	if strings.Contains(svg, "a < b &") {
+		t.Error("title not escaped")
+	}
+}
+
+func TestNiceCeil(t *testing.T) {
+	cases := map[float64]float64{
+		0.7: 1, 1: 1, 1.2: 2, 3: 5, 7: 10, 12: 20, 45: 50, 70: 100, 865: 1000,
+	}
+	for in, want := range cases {
+		if got := niceCeil(in); got != want {
+			t.Errorf("niceCeil(%v) = %v, want %v", in, got, want)
+		}
+	}
+	if niceCeil(0) != 1 || niceCeil(-5) != 1 {
+		t.Error("non-positive niceCeil broken")
+	}
+}
+
+// Property: every generated bar chart is well-formed XML and its bar count
+// matches series x categories, for random shapes.
+func TestBarChartProperty(t *testing.T) {
+	f := func(seed uint64, catRaw, serRaw uint8) bool {
+		nc := int(catRaw%5) + 1
+		ns := int(serRaw%3) + 1
+		c := &BarChart{Title: "t", YLabel: "y"}
+		for i := 0; i < nc; i++ {
+			c.Categories = append(c.Categories, string(rune('a'+i)))
+		}
+		state := seed
+		next := func() float64 {
+			state = state*6364136223846793005 + 1442695040888963407
+			return float64(state%10000) / 10
+		}
+		for s := 0; s < ns; s++ {
+			vals := make([]float64, nc)
+			for i := range vals {
+				vals[i] = next()
+			}
+			c.Series = append(c.Series, Series{Name: string(rune('A' + s)), Values: vals})
+		}
+		svg, err := c.SVG()
+		if err != nil {
+			return false
+		}
+		if strings.Count(svg, "<title>") != nc*ns {
+			return false
+		}
+		dec := xml.NewDecoder(strings.NewReader(svg))
+		for {
+			_, err := dec.Token()
+			if err != nil {
+				return err.Error() == "EOF"
+			}
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFmtVal(t *testing.T) {
+	cases := map[float64]string{
+		4:      "4",
+		4.5:    "4.5",
+		4.25:   "4.25",
+		1182.3: "1182.3",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := fmtVal(in); got != want {
+			t.Errorf("fmtVal(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if math.IsNaN(niceCeil(100)) {
+		t.Fatal("unexpected NaN")
+	}
+}
