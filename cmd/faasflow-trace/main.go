@@ -5,6 +5,7 @@
 //	faasflow-trace gen -jobs 50 -seed 7 > genome-like.json
 //	faasflow-trace export -bench Epi > epi.json
 //	faasflow-trace run -file genome-like.json -mode worker -n 50
+//	faasflow-trace report -bench Gen -n 20   # attribution, both patterns
 package main
 
 import (
@@ -14,6 +15,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -30,6 +32,8 @@ func main() {
 		err = cmdExport(os.Args[2:])
 	case "run":
 		err = cmdRun(os.Args[2:])
+	case "report":
+		err = cmdReport(os.Args[2:])
 	default:
 		usage()
 	}
@@ -43,7 +47,8 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage:
   faasflow-trace gen    -jobs N [-stages K] [-seed S] [-runtime SEC] [-output BYTES]
   faasflow-trace export -bench NAME
-  faasflow-trace run    -file TRACE.json [-mode worker|master] [-faastore] [-n N]`)
+  faasflow-trace run    -file TRACE.json [-mode worker|master] [-faastore] [-n N]
+  faasflow-trace report -bench NAME | -file TRACE.json [-faastore] [-n N]`)
 	os.Exit(2)
 }
 
@@ -135,5 +140,62 @@ func cmdRun(args []string) error {
 		tr.Name, len(tr.Jobs), len(d.Placement.Groups), 100*float64(local)/float64(total+1))
 	fmt.Printf("%d invocations (%s): mean=%v p50=%v p99=%v\n",
 		rec.Count(), m, rec.Mean(), rec.Percentile(0.5), rec.P99())
+	return nil
+}
+
+// cmdReport runs the workload under both scheduling patterns with the
+// observability bus attached and prints each pattern's critical-path
+// latency attribution — the component view behind the paper's
+// WorkerSP-vs-MasterSP overhead comparison.
+func cmdReport(args []string) error {
+	fs := flag.NewFlagSet("report", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark to analyze (Cyc, Epi, Gen, Soy, Vid, IR, FP, WC)")
+	file := fs.String("file", "", "trace JSON file to analyze instead of a benchmark")
+	faastore := fs.Bool("faastore", true, "enable FaaStore")
+	n := fs.Int("n", 20, "closed-loop invocations per pattern")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var b *workloads.Benchmark
+	switch {
+	case *bench != "" && *file != "":
+		return fmt.Errorf("pass -bench or -file, not both")
+	case *bench != "":
+		b = workloads.ByName(*bench)
+		if b == nil {
+			return fmt.Errorf("unknown benchmark %q", *bench)
+		}
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			return err
+		}
+		tr, err := trace.Parse(data)
+		if err != nil {
+			return err
+		}
+		if b, err = tr.ToBenchmark(); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("pass -bench NAME or -file TRACE.json")
+	}
+	for _, m := range []engine.Mode{engine.ModeWorkerSP, engine.ModeMasterSP} {
+		tb := harness.NewTestbed(harness.ClusterSpec{FaaStore: *faastore})
+		bus := obs.NewBus()
+		log := obs.NewTraceLog()
+		bus.Subscribe(log.Record)
+		tb.AttachBus(bus)
+		d, err := tb.Deploy(b, engine.Options{Mode: m, Data: engine.DataStore})
+		if err != nil {
+			return err
+		}
+		harness.ClosedLoop(tb.Env, d.Engine, 1, *n)
+		bds, err := obs.AnalyzeAll(log)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %s\n%s", b.Name, m, obs.Summarize(bds).String())
+	}
 	return nil
 }

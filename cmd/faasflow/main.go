@@ -33,6 +33,7 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "placement seed")
 		tracePath = flag.String("trace", "", "write a Chrome trace of the run to this file")
 		argSpecs  = flag.String("args", "", "invocation arguments for switch conditions, e.g. \"q=1080,tier=premium\"")
+		report    = flag.Bool("report", false, "print the critical-path latency attribution after the run")
 	)
 	flag.Parse()
 
@@ -57,6 +58,11 @@ func main() {
 		faasflow.WithFaaStore(*faastore),
 		faasflow.WithSeed(*seed),
 	)
+	var observer *faasflow.Observer
+	if *report {
+		observer = faasflow.NewObserver()
+		cluster.AttachObserver(observer)
+	}
 	app, err := cluster.Deploy(wf, m)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faasflow:", err)
@@ -93,6 +99,14 @@ func main() {
 		app.CriticalExec(), stats.Mean-app.CriticalExec())
 	if stats.Timeouts > 0 {
 		fmt.Printf("timeouts: %.1f%% of invocations hit the 60s deadline\n", stats.Timeouts*100)
+	}
+	if observer != nil {
+		text, err := observer.ReportText()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasflow:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\n%s", text)
 	}
 	if *tracePath != "" {
 		data, err := app.TraceJSON()

@@ -324,3 +324,79 @@ func TestUtilizationSnapshot(t *testing.T) {
 		t.Fatal("FaaStore saw no local hits for a fully-local workflow")
 	}
 }
+
+func TestObserverReportAndTrace(t *testing.T) {
+	c := NewCluster(WithWorkers(3), WithSeed(7))
+	o := NewObserver()
+	c.AttachObserver(o)
+	wf := Benchmark("Gen")
+	if wf == nil {
+		t.Fatal("Gen benchmark missing")
+	}
+	app, err := c.Deploy(wf, WorkerSP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	app.Run(3)
+	if o.Events() == 0 {
+		t.Fatal("attached observer saw nothing")
+	}
+
+	bds, err := o.Breakdowns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Run(3) does one warm-up pass plus 3 measured invocations.
+	if len(bds) != 4 {
+		t.Fatalf("breakdowns = %d; want 4", len(bds))
+	}
+	for _, bd := range bds {
+		var sum time.Duration
+		for _, d := range bd.Components {
+			sum += d
+		}
+		if sum != bd.Total {
+			t.Fatalf("component sum %v != total %v", sum, bd.Total)
+		}
+		if bd.Mode != "WorkerSP" || bd.Workflow != wf.Name() {
+			t.Fatalf("breakdown identity = %q/%q", bd.Workflow, bd.Mode)
+		}
+	}
+
+	rep, err := o.Report()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Count != 4 || rep.MeanTotal <= 0 || rep.Mean["exec"] <= 0 {
+		t.Fatalf("report = %+v", rep)
+	}
+	text, err := o.ReportText()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "exec") {
+		t.Fatalf("report text missing exec:\n%s", text)
+	}
+
+	if !strings.Contains(o.PrometheusText(), "faasflow_invocations_total") {
+		t.Fatal("exposition missing invocation counter")
+	}
+	data, err := o.WorkflowTrace(wf.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"ph": "X"`) {
+		t.Fatal("workflow trace has no spans")
+	}
+	if _, err := o.WorkflowTrace("nope"); err == nil {
+		t.Fatal("want error for unobserved workflow")
+	}
+
+	// After detach nothing new is recorded.
+	c.DetachObserver()
+	before := o.Events()
+	app.Run(1)
+	if o.Events() != before {
+		t.Fatalf("detached observer grew: %d -> %d", before, o.Events())
+	}
+}

@@ -1,0 +1,147 @@
+package faasflow
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Observer collects everything one cluster emits while attached: a full
+// event log (for trace export and critical-path analysis) and a labeled
+// metrics registry (for Prometheus exposition). A detached cluster
+// publishes nothing and pays no observation cost.
+type Observer struct {
+	bus *obs.Bus
+	log *obs.TraceLog
+	reg *obs.Registry
+}
+
+// NewObserver builds an observer with an event log and metrics collector
+// already subscribed. Attach it with Cluster.AttachObserver.
+func NewObserver() *Observer {
+	bus := obs.NewBus()
+	log := obs.NewTraceLog()
+	reg := obs.NewRegistry()
+	col := obs.NewCollector(reg)
+	bus.Subscribe(log.Record)
+	bus.Subscribe(col.Handle)
+	bus.Subscribe(obs.NewLatencyTracker(col))
+	return &Observer{bus: bus, log: log, reg: reg}
+}
+
+// AttachObserver wires the observer through every cluster substrate —
+// engines (including already-deployed apps), container nodes, network
+// fabric, store, and scheduler.
+func (c *Cluster) AttachObserver(o *Observer) {
+	if o == nil {
+		c.tb.AttachBus(nil)
+		return
+	}
+	c.tb.AttachBus(o.bus)
+}
+
+// DetachObserver disconnects observation; subsequent activity publishes
+// nothing.
+func (c *Cluster) DetachObserver() { c.tb.AttachBus(nil) }
+
+// PrometheusText renders the collected metrics in Prometheus text
+// exposition format (what a /metrics endpoint serves).
+func (o *Observer) PrometheusText() string { return o.reg.String() }
+
+// ChromeTrace exports everything observed so far as a Chrome trace
+// (load in chrome://tracing or Perfetto): executor phase spans per
+// worker, flow and store-op tracks, per-node container/memory counters,
+// and control-plane trigger chains.
+func (o *Observer) ChromeTrace() ([]byte, error) { return obs.ChromeTrace(o.log) }
+
+// WorkflowTrace exports the trace of one workflow's events only. It
+// errors when no invocation of that workflow was observed.
+func (o *Observer) WorkflowTrace(name string) ([]byte, error) {
+	sub := o.log.ForWorkflow(name)
+	if sub.Len() == 0 {
+		return nil, fmt.Errorf("faasflow: no observed events for workflow %q", name)
+	}
+	return obs.ChromeTrace(sub)
+}
+
+// Workflows lists the workflow names with observed invocations.
+func (o *Observer) Workflows() []string { return o.log.Workflows() }
+
+// Events reports how many events have been observed.
+func (o *Observer) Events() int { return o.log.Len() }
+
+// Reset discards the event log (metrics counters keep accumulating).
+func (o *Observer) Reset() { o.log.Reset() }
+
+// Breakdown attributes one invocation's end-to-end latency to latency
+// components. Component keys are the analyzer's buckets: acquire, fetch,
+// exec, store, transfer, queue, schedule.
+type Breakdown struct {
+	Workflow   string
+	Invocation int64
+	Mode       string
+	Total      time.Duration
+	Components map[string]time.Duration
+	// Path is the critical path's step names, source first.
+	Path []string
+}
+
+func toBreakdown(b *obs.Breakdown) Breakdown {
+	comps := map[string]time.Duration{}
+	for c, d := range b.ByComponent {
+		comps[c.String()] = d
+	}
+	return Breakdown{
+		Workflow:   b.Workflow,
+		Invocation: b.Inv,
+		Mode:       b.Mode,
+		Total:      b.Total,
+		Components: comps,
+		Path:       append([]string(nil), b.Path...),
+	}
+}
+
+// Breakdowns analyzes every completed invocation observed so far.
+func (o *Observer) Breakdowns() ([]Breakdown, error) {
+	bds, err := obs.AnalyzeAll(o.log)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Breakdown, len(bds))
+	for i, b := range bds {
+		out[i] = toBreakdown(b)
+	}
+	return out, nil
+}
+
+// Report aggregates breakdowns into per-component mean attribution.
+type Report struct {
+	Count     int
+	MeanTotal time.Duration
+	Mean      map[string]time.Duration
+}
+
+// Report analyzes all completed invocations and averages the attribution.
+func (o *Observer) Report() (Report, error) {
+	bds, err := obs.AnalyzeAll(o.log)
+	if err != nil {
+		return Report{}, err
+	}
+	s := obs.Summarize(bds)
+	mean := map[string]time.Duration{}
+	for c, d := range s.Mean {
+		mean[c.String()] = d
+	}
+	return Report{Count: s.Count, MeanTotal: s.MeanTotal, Mean: mean}, nil
+}
+
+// ReportText renders the attribution report as an aligned table sorted by
+// mean component time.
+func (o *Observer) ReportText() (string, error) {
+	bds, err := obs.AnalyzeAll(o.log)
+	if err != nil {
+		return "", err
+	}
+	return obs.Summarize(bds).String(), nil
+}

@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -85,6 +86,26 @@ type Node struct {
 	running map[*cpuTask]struct{}
 
 	stats NodeStats
+	bus   *obs.Bus
+}
+
+// SetBus attaches (or detaches, with nil) an observability bus; container
+// lifecycle transitions publish to it with the node's occupancy snapshot.
+func (n *Node) SetBus(b *obs.Bus) { n.bus = b }
+
+// pubContainer publishes one lifecycle transition with current occupancy.
+func (n *Node) pubContainer(fn string, op obs.ContainerOp) {
+	if !n.bus.Active() {
+		return
+	}
+	n.bus.Publish(obs.ContainerEvent{
+		Node:       n.id,
+		Function:   fn,
+		Op:         op,
+		Containers: n.containers,
+		MemUsed:    n.memUsed,
+		At:         n.env.Now(),
+	})
 }
 
 // NodeStats aggregates a node's lifetime counters.
@@ -218,6 +239,7 @@ func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 			c.expiry = nil
 		}
 		n.stats.WarmReuses++
+		n.pubContainer(fn, obs.ContainerWarmReuse)
 		n.env.Schedule(0, func() { ready(c, false) })
 		return
 	}
@@ -233,6 +255,7 @@ func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 			n.stats.PeakMem = n.memUsed
 		}
 		n.stats.ColdStarts++
+		n.pubContainer(fn, obs.ContainerColdStart)
 		c := &Container{Fn: fn, Node: n, id: p.nextID}
 		p.nextID++
 		n.env.Schedule(n.cfg.ColdStart, func() { ready(c, true) })
@@ -240,6 +263,7 @@ func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 	}
 	// Saturated: wait for a release.
 	n.stats.QueuedWaits++
+	n.pubContainer(fn, obs.ContainerQueued)
 	p.waiting = append(p.waiting, ready)
 }
 
@@ -278,6 +302,7 @@ func (n *Node) Release(c *Container) {
 		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
 		n.env.Schedule(0, func() { next(c, false) })
 		n.stats.WarmReuses++
+		n.pubContainer(c.Fn, obs.ContainerWarmReuse)
 		return
 	}
 	c.idle = true
@@ -302,6 +327,7 @@ func (n *Node) Destroy(c *Container) {
 		}
 	}
 	n.freeContainer(c)
+	n.pubContainer(c.Fn, obs.ContainerDestroyed)
 }
 
 func (n *Node) evict(c *Container) {
@@ -317,6 +343,7 @@ func (n *Node) evict(c *Container) {
 	}
 	n.stats.Evictions++
 	n.freeContainer(c)
+	n.pubContainer(c.Fn, obs.ContainerEvicted)
 }
 
 func (n *Node) freeContainer(c *Container) {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/expr"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 	"repro/internal/store"
 	"repro/internal/workloads"
@@ -134,8 +135,13 @@ type proc struct {
 	events    int64
 }
 
-func (p *proc) process(fn func()) {
-	start := p.env.Now()
+// process enqueues fn on the loop and reports the slot's timing — enqueue
+// instant, slot start (later than enq when the loop was busy), and slot
+// end, when fn actually runs. Callers that observe feed these to the
+// trigger-chain builders; everyone else ignores them.
+func (p *proc) process(fn func()) (enq, start, done sim.Time) {
+	enq = p.env.Now()
+	start = enq
 	if p.busyUntil > start {
 		start = p.busyUntil
 	}
@@ -143,6 +149,7 @@ func (p *proc) process(fn func()) {
 	p.busy += p.cost
 	p.events++
 	p.env.At(p.busyUntil, fn)
+	return enq, start, p.busyUntil
 }
 
 // EngineStats reports one engine loop's lifetime counters (§5.7).
@@ -212,6 +219,7 @@ type Deployment struct {
 	master  *proc
 	workers map[string]*proc
 	tracer  *Tracer
+	obs     *obs.Bus
 
 	nextInv  int64
 	liveNow  int
@@ -506,6 +514,7 @@ func (d *Deployment) InvokeArgs(args map[string]any, done func(Result)) {
 	if d.liveNow > d.peakLive {
 		d.peakLive = d.liveNow
 	}
+	d.pubInvocation(inv, false)
 	switch d.opts.Mode {
 	case ModeWorkerSP:
 		d.invokeWorkerSP(inv)
@@ -525,6 +534,7 @@ func (d *Deployment) finishInvocation(inv *invocation) {
 	for _, k := range inv.keys {
 		d.rt.Store.Delete(k)
 	}
+	d.pubInvocation(inv, true)
 	inv.done(Result{ID: inv.id, Start: inv.start, End: d.rt.Env.Now(), Version: inv.version, Failed: inv.failed})
 }
 
@@ -586,10 +596,12 @@ func (d *Deployment) runExecutor(inv *invocation, id dag.NodeID, replica, attemp
 					d.crashCount++
 					if attempt < d.opts.MaxAttempts {
 						d.retryCount++
+						d.pubStep(inv, id, obs.StepRetried)
 						d.runExecutor(inv, id, replica, attempt+1, onDone)
 						return
 					}
 					inv.failed = true
+					d.pubStep(inv, id, obs.StepFailed)
 					onDone(true) // drains like a skip: no outputs written
 					return
 				}

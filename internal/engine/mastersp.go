@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/dag"
+import (
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // This file implements the MasterSP baseline (paper §2.2, Figure 3):
 // HyperFlow-serverless. The central engine on the master node owns all
@@ -12,38 +16,65 @@ import "repro/internal/dag"
 //
 // Switch skips resolve centrally: the master never dispatches a skipped
 // node, it just forwards the skip through its state table.
+//
+// Trigger chains here span many more hops than WorkerSP's — completion
+// transfer to the master, the master's completion slot, the assignment
+// marshalling slot, the assignment transfer, and the worker's accept slot
+// — which is exactly the extra schedule/transfer time the critical-path
+// report attributes to this mode.
 
 func (d *Deployment) invokeMasterSP(inv *invocation) {
-	d.master.process(func() {
+	var enq, st, done sim.Time
+	enq, st, done = d.master.process(func() {
+		pre := d.chainProc(nil, enq, st, done)
 		for _, src := range d.sources {
-			d.mspAssign(inv, src)
+			d.mspAssign(inv, src, -1, pre)
 		}
 	})
 }
 
 // mspAssign dispatches a ready node. It must be called from master engine
-// context (inside a master.process callback).
-func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID) {
+// context (inside a master.process callback). from/pre carry the trigger
+// chain built up to (and including) the current master slot.
+func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []obs.Segment) {
 	if inv.started[id] {
 		return
 	}
 	inv.started[id] = true
 	if d.g.Node(id).Kind == dag.KindVirtual {
-		// Virtual markers are bookkeeping the master resolves itself.
-		d.master.process(func() { d.mspComplete(inv, id, false) })
+		// Virtual markers are bookkeeping the master resolves itself: the
+		// chain into the marker closes here; the resolution slot opens the
+		// chains toward its successors.
+		d.publishChain(inv, from, int(id), pre)
+		var enq, st, done sim.Time
+		enq, st, done = d.master.process(func() {
+			d.mspComplete(inv, id, false, d.chainProc(nil, enq, st, done))
+		})
 		return
 	}
 	w := inv.place[id]
 	// Marshalling the task into an assignment is itself a serialized slot
 	// of the master's event loop.
-	d.master.process(func() {
+	var enq, st, done sim.Time
+	enq, st, done = d.master.process(func() {
+		segs := d.chainProc(pre, enq, st, done)
+		sendAt := d.rt.Env.Now()
 		d.rt.Fabric.SendMsg(d.rt.Master, w, d.opts.AssignMsgBytes, func() {
+			arrived := d.chainTransfer(segs, sendAt, d.rt.Env.Now())
 			// The worker-side executor proxy accepts the task...
-			d.workers[w].process(func() {
+			var e2, s2, d2 sim.Time
+			e2, s2, d2 = d.workers[w].process(func() {
+				d.publishChain(inv, from, int(id), d.chainProc(arrived, e2, s2, d2))
+				d.pubStep(inv, id, obs.StepTriggered)
 				d.runTask(inv, id, func(failed bool) {
 					// ...and returns the execution state to the master.
+					backAt := d.rt.Env.Now()
 					d.rt.Fabric.SendMsg(w, d.rt.Master, d.opts.StateMsgBytes, func() {
-						d.master.process(func() { d.mspComplete(inv, id, failed) })
+						back := d.chainTransfer(nil, backAt, d.rt.Env.Now())
+						var e3, s3, d3 sim.Time
+						e3, s3, d3 = d.master.process(func() {
+							d.mspComplete(inv, id, failed, d.chainProc(back, e3, s3, d3))
+						})
 					})
 				})
 			})
@@ -53,11 +84,18 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID) {
 
 // mspComplete updates central state after id finished (or was skipped) and
 // assigns any successors whose predecessors are all resolved. Master
-// engine context.
-func (d *Deployment) mspComplete(inv *invocation, id dag.NodeID, nodeSkipped bool) {
+// engine context; pre is the chain from id's completion instant through
+// the current master slot.
+func (d *Deployment) mspComplete(inv *invocation, id dag.NodeID, nodeSkipped bool, pre []obs.Segment) {
+	if nodeSkipped {
+		d.pubStep(inv, id, obs.StepSkipped)
+	} else {
+		d.pubStep(inv, id, obs.StepCompleted)
+	}
 	if d.g.OutDegree(id) == 0 {
 		inv.sinksLeft--
 		if inv.sinksLeft == 0 {
+			d.publishChain(inv, int(id), -1, pre)
 			d.finishInvocation(inv)
 		}
 		return
@@ -75,11 +113,17 @@ func (d *Deployment) mspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 				if !inv.started[succ] {
 					inv.started[succ] = true
 					succ := succ
-					d.master.process(func() { d.mspComplete(inv, succ, true) })
+					// The skip chain into succ closes with the current slot;
+					// the forwarding slot opens its successors' chains.
+					d.publishChain(inv, int(id), int(succ), pre)
+					var enq, st, done sim.Time
+					enq, st, done = d.master.process(func() {
+						d.mspComplete(inv, succ, true, d.chainProc(nil, enq, st, done))
+					})
 				}
 				continue
 			}
-			d.mspAssign(inv, succ)
+			d.mspAssign(inv, succ, int(id), pre)
 		}
 	}
 }

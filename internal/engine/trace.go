@@ -3,8 +3,10 @@ package engine
 import (
 	"encoding/json"
 	"sort"
+	"strconv"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -85,35 +87,40 @@ func (t *Tracer) ChromeJSON() ([]byte, error) {
 // SetTracer attaches (or detaches, with nil) a tracer to the deployment.
 func (d *Deployment) SetTracer(t *Tracer) { d.tracer = t }
 
-// span emits one phase event when tracing is on.
+// span emits one phase event to the tracer and/or the observability bus,
+// whichever is attached.
 func (d *Deployment) span(inv *invocation, id dag.NodeID, replica int, phase string, start sim.Time) {
-	if d.tracer == nil {
+	if d.tracer == nil && !d.obs.Active() {
 		return
 	}
-	name := d.g.Node(id).Name
-	if d.g.Node(id).Width > 1 {
-		name = name + "#" + itoa(replica)
+	node := d.g.Node(id)
+	if d.tracer != nil {
+		name := node.Name
+		if node.Width > 1 {
+			name = name + "#" + itoa(replica)
+		}
+		d.tracer.add(TraceEvent{
+			Node:   name,
+			Phase:  phase,
+			Worker: inv.place[id],
+			Inv:    inv.id,
+			Start:  start,
+			End:    d.rt.Env.Now(),
+		})
 	}
-	d.tracer.add(TraceEvent{
-		Node:   name,
-		Phase:  phase,
-		Worker: inv.place[id],
-		Inv:    inv.id,
-		Start:  start,
-		End:    d.rt.Env.Now(),
-	})
+	if d.obs.Active() {
+		d.obs.Publish(obs.PhaseEvent{
+			Workflow: d.bench.Name,
+			Inv:      inv.id,
+			Node:     int(id),
+			Name:     node.Name,
+			Replica:  replica,
+			Comp:     phaseComp(phase),
+			Worker:   inv.place[id],
+			Start:    start,
+			End:      d.rt.Env.Now(),
+		})
+	}
 }
 
-func itoa(v int) string {
-	if v == 0 {
-		return "0"
-	}
-	var buf [8]byte
-	i := len(buf)
-	for v > 0 {
-		i--
-		buf[i] = byte('0' + v%10)
-		v /= 10
-	}
-	return string(buf[i:])
-}
+func itoa(v int) string { return strconv.Itoa(v) }

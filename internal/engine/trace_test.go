@@ -155,3 +155,51 @@ func TestNoTracerNoOverhead(t *testing.T) {
 		t.Fatal("run without tracer broken")
 	}
 }
+
+func TestTracerChromeJSONEmpty(t *testing.T) {
+	data, err := NewTracer().ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != "[]" {
+		t.Fatalf("empty tracer renders %q; want [] (null breaks trace viewers)", data)
+	}
+}
+
+func TestTracerChromeJSONChronological(t *testing.T) {
+	tr := NewTracer()
+	tr.add(TraceEvent{Node: "b", Phase: "exec", Start: 300, End: 400})
+	tr.add(TraceEvent{Node: "a", Phase: "exec", Start: 100, End: 200})
+	data, err := tr.ChromeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var parsed []map[string]any
+	if err := json.Unmarshal(data, &parsed); err != nil {
+		t.Fatal(err)
+	}
+	var prev float64 = -1
+	for _, ev := range parsed {
+		ts := ev["ts"].(float64)
+		if ts < prev {
+			t.Fatalf("events out of order: ts %v after %v", ts, prev)
+		}
+		prev = ts
+	}
+}
+
+func TestItoa(t *testing.T) {
+	cases := map[int]string{
+		0:          "0",
+		7:          "7",
+		42:         "42",
+		-13:        "-13", // the old hand-rolled version looped forever here
+		123456789:  "123456789",
+		-987654321: "-987654321",
+	}
+	for in, want := range cases {
+		if got := itoa(in); got != want {
+			t.Errorf("itoa(%d) = %q; want %q", in, got, want)
+		}
+	}
+}

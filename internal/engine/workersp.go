@@ -1,6 +1,10 @@
 package engine
 
-import "repro/internal/dag"
+import (
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
 
 // This file implements the WorkerSP pattern (paper §3.1, Figure 6): each
 // worker's engine maintains State (predecessors-done counters) for its
@@ -13,30 +17,42 @@ import "repro/internal/dag"
 // Switch steps add a skip wave: a state update is either "done" or
 // "skipped"; a node whose predecessors all completed but none for real is
 // itself skipped — it runs nothing and forwards the skip.
+//
+// When a bus is attached, every causal hop threads a trigger-chain prefix
+// (pre) forward: the completion proc's queue+schedule segments, then the
+// fabric transfer, then the arrival proc's segments, published as one
+// chain the instant the destination's trigger resolves.
 
 func (d *Deployment) invokeWorkerSP(inv *invocation) {
 	// The client's request lands at the master/gateway, which notifies the
 	// worker hosting each source node of the new InvocationID.
-	d.master.process(func() {
+	var enq, st, done sim.Time
+	enq, st, done = d.master.process(func() {
+		pre := d.chainProc(nil, enq, st, done)
 		for _, src := range d.sources {
 			src := src
 			w := inv.place[src]
+			sendAt := d.rt.Env.Now()
 			d.rt.Fabric.SendMsg(d.rt.Master, w, d.opts.AssignMsgBytes, func() {
-				d.wspTrigger(inv, src)
+				d.wspTrigger(inv, src, -1, d.chainTransfer(pre, sendAt, d.rt.Env.Now()))
 			})
 		}
 	})
 }
 
 // wspTrigger runs on the engine of the worker hosting id, whose trigger
-// condition is already satisfied.
-func (d *Deployment) wspTrigger(inv *invocation, id dag.NodeID) {
+// condition is already satisfied. from/pre carry the trigger chain built
+// up to the message arrival.
+func (d *Deployment) wspTrigger(inv *invocation, id dag.NodeID, from int, pre []obs.Segment) {
 	w := inv.place[id]
-	d.workers[w].process(func() {
+	var enq, st, done sim.Time
+	enq, st, done = d.workers[w].process(func() {
 		if inv.started[id] {
 			return
 		}
 		inv.started[id] = true
+		d.publishChain(inv, from, int(id), d.chainProc(pre, enq, st, done))
+		d.pubStep(inv, id, obs.StepTriggered)
 		d.runTask(inv, id, func(failed bool) { d.wspComplete(inv, id, failed) })
 	})
 }
@@ -45,15 +61,26 @@ func (d *Deployment) wspTrigger(inv *invocation, id dag.NodeID) {
 // propagates the state to every successor's engine.
 func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped bool) {
 	w := inv.place[id]
-	d.workers[w].process(func() {
+	var enq, st, done sim.Time
+	enq, st, done = d.workers[w].process(func() {
+		if nodeSkipped {
+			d.pubStep(inv, id, obs.StepSkipped)
+		} else {
+			d.pubStep(inv, id, obs.StepCompleted)
+		}
+		pre := d.chainProc(nil, enq, st, done)
 		if d.g.OutDegree(id) == 0 {
 			// A sink: report completion to the master, which finishes the
 			// invocation when all sinks have reported. Skipped sinks count
 			// too — the workflow is done when nothing remains to run.
+			sendAt := d.rt.Env.Now()
 			d.rt.Fabric.SendMsg(w, d.rt.Master, d.opts.StateMsgBytes, func() {
-				d.master.process(func() {
+				segs := d.chainTransfer(pre, sendAt, d.rt.Env.Now())
+				var e2, s2, d2 sim.Time
+				e2, s2, d2 = d.master.process(func() {
 					inv.sinksLeft--
 					if inv.sinksLeft == 0 {
+						d.publishChain(inv, int(id), -1, d.chainProc(segs, e2, s2, d2))
 						d.finishInvocation(inv)
 					}
 				})
@@ -66,8 +93,9 @@ func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 			skip := nodeSkipped || skipped[ei]
 			// Same worker → inner RPC (loopback); different worker →
 			// cross-node TCP. The fabric models both through SendMsg.
+			sendAt := d.rt.Env.Now()
 			d.rt.Fabric.SendMsg(w, inv.place[succ], d.opts.StateMsgBytes, func() {
-				d.wspStateArrive(inv, succ, skip)
+				d.wspStateArrive(inv, succ, skip, int(id), d.chainTransfer(pre, sendAt, d.rt.Env.Now()))
 			})
 		}
 	})
@@ -76,20 +104,23 @@ func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 // wspStateArrive applies one predecessor update on the successor's engine
 // and triggers it once PredecessorsDone reaches PredecessorsCount. When
 // every predecessor completion was a skip, the node is skipped in turn.
-func (d *Deployment) wspStateArrive(inv *invocation, succ dag.NodeID, skip bool) {
+func (d *Deployment) wspStateArrive(inv *invocation, succ dag.NodeID, skip bool, from int, pre []obs.Segment) {
 	sw := inv.place[succ]
-	d.workers[sw].process(func() {
+	var enq, st, done sim.Time
+	enq, st, done = d.workers[sw].process(func() {
 		inv.predsDone[succ]++
 		if !skip {
 			inv.realIn[succ]++
 		}
 		if inv.predsDone[succ] == d.g.InDegree(succ) && !inv.started[succ] {
 			inv.started[succ] = true
+			d.publishChain(inv, from, int(succ), d.chainProc(pre, enq, st, done))
 			if inv.realIn[succ] == 0 {
 				// Entirely skipped: forward the skip without executing.
 				d.wspComplete(inv, succ, true)
 				return
 			}
+			d.pubStep(inv, succ, obs.StepTriggered)
 			d.runTask(inv, succ, func(failed bool) { d.wspComplete(inv, succ, failed) })
 		}
 	})

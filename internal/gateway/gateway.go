@@ -6,8 +6,10 @@
 //	GET  /workflows            list deployed workflows
 //	GET  /workflows/{name}     placement, groups, locality
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
+//	GET  /workflows/{name}/trace   Chrome trace of observed invocations
 //	GET  /benchmarks           the built-in paper workloads
 //	GET  /cluster              cumulative utilization counters
+//	GET  /metrics              Prometheus text exposition
 //
 // The simulation is single-threaded, so the handler serializes requests;
 // for the simulated substrate this is a modeling property, not a
@@ -33,6 +35,7 @@ type Server struct {
 	mode    faasflow.Mode
 	apps    map[string]*faasflow.App
 	wfs     map[string]*faasflow.Workflow
+	obs     *faasflow.Observer
 }
 
 // Config selects the cluster the server manages.
@@ -58,11 +61,15 @@ func New(cfg Config) *Server {
 	if cfg.MasterSP {
 		mode = faasflow.MasterSP
 	}
+	cluster := faasflow.NewCluster(opts...)
+	observer := faasflow.NewObserver()
+	cluster.AttachObserver(observer)
 	return &Server{
-		cluster: faasflow.NewCluster(opts...),
+		cluster: cluster,
 		mode:    mode,
 		apps:    map[string]*faasflow.App{},
 		wfs:     map[string]*faasflow.Workflow{},
+		obs:     observer,
 	}
 }
 
@@ -73,6 +80,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/workflows/", s.handleWorkflow)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
 
@@ -258,9 +266,33 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			MaxMs:       ms(stats.Max),
 			TimeoutRate: stats.Timeouts,
 		})
+	case action == "trace" && r.Method == http.MethodGet:
+		data, err := s.obs.WorkflowTrace(name)
+		if err != nil {
+			fail(w, &httpError{http.StatusNotFound, err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(data)
 	default:
 		fail(w, &httpError{http.StatusMethodNotAllowed, "unknown action"})
 	}
+}
+
+// handleMetrics serves the Prometheus text exposition of everything the
+// attached observer has collected.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		fail(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+		return
+	}
+	s.mu.Lock()
+	text := s.obs.PrometheusText()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(text))
 }
 
 func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {

@@ -4,8 +4,11 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
+	"strings"
 	"testing"
 )
 
@@ -260,5 +263,92 @@ func TestConcurrentRequestsSerialized(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	var inv invokeResponse
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke", map[string]any{"n": 2}, &inv); code != 200 {
+		t.Fatalf("invoke status = %d", code)
+	}
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+
+	// Every line must parse as Prometheus 0.0.4 exposition: a # HELP/# TYPE
+	// comment or `name{labels} value` / `name value`.
+	series := regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? [^ ]+$`)
+	var samples int
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "# HELP ") || strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		if !series.MatchString(line) {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+		samples++
+	}
+	if samples == 0 {
+		t.Fatal("no samples in exposition")
+	}
+	for _, want := range []string{
+		`faasflow_invocations_total{workflow="etl",mode="WorkerSP",result="ok"}`,
+		"# TYPE faasflow_invocation_seconds histogram",
+		"faasflow_placements_total",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+func TestWorkflowTraceEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	var inv invokeResponse
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke", map[string]any{"n": 1}, &inv); code != 200 {
+		t.Fatalf("invoke status = %d", code)
+	}
+
+	var events []map[string]any
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/etl/trace", nil, &events); code != 200 {
+		t.Fatalf("trace status = %d", code)
+	}
+	if len(events) == 0 {
+		t.Fatal("trace has no events")
+	}
+	sawPhase := false
+	for _, ev := range events {
+		if ev["ph"] == "X" {
+			sawPhase = true
+		}
+	}
+	if !sawPhase {
+		t.Fatal("trace has no phase spans")
+	}
+
+	// Unknown workflow → 404.
+	var errBody map[string]string
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/nope/trace", nil, &errBody); code != http.StatusNotFound {
+		t.Fatalf("unknown workflow trace status = %d", code)
+	}
+	if errBody["error"] == "" {
+		t.Fatal("404 body has no error message")
 	}
 }

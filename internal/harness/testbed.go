@@ -13,6 +13,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/scheduler"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -82,7 +83,28 @@ type Testbed struct {
 	ScaleHint float64
 
 	capLeft map[string]int // remaining scheduler capacity per worker
+	bus     *obs.Bus
+	engines []*engine.Deployment // every deployment made, for bus rewiring
 }
+
+// AttachBus wires an observability bus through every substrate — fabric,
+// worker nodes, the hybrid store, and every engine deployment made so far
+// — and remembers it so subsequent Deploy calls wire their engine and
+// scheduler too. Pass nil to detach everything.
+func (tb *Testbed) AttachBus(b *obs.Bus) {
+	tb.bus = b
+	tb.Fabric.SetBus(b)
+	for _, n := range tb.Runtime.Nodes {
+		n.SetBus(b)
+	}
+	tb.Runtime.Store.SetBus(b)
+	for _, eng := range tb.engines {
+		eng.SetObserver(b)
+	}
+}
+
+// Bus reports the currently attached bus (nil when detached).
+func (tb *Testbed) Bus() *obs.Bus { return tb.bus }
 
 // NewTestbed builds a cluster per spec.
 func NewTestbed(spec ClusterSpec) *Testbed {
@@ -185,6 +207,9 @@ func (tb *Testbed) schedInput(bench *workloads.Benchmark) scheduler.Input {
 		Quota:      quota,
 		RemoteBps:  float64(tb.Spec.StorageBW),
 		Seed:       tb.Spec.Seed ^ uint64(len(bench.Name))<<32 ^ hashString(bench.Name),
+		Bus:        tb.bus,
+		Workflow:   bench.Name,
+		Now:        tb.Env.Now(),
 	}
 }
 
@@ -212,6 +237,8 @@ func (tb *Testbed) deployWithPlacement(bench *workloads.Benchmark, place *schedu
 	if err != nil {
 		return nil, err
 	}
+	eng.SetObserver(tb.bus)
+	tb.engines = append(tb.engines, eng)
 	return &Deployment{Bench: bench, Engine: eng, Placement: place}, nil
 }
 

@@ -12,16 +12,16 @@ import (
 	"time"
 )
 
-// Recorder accumulates latency samples.
+// Recorder accumulates latency samples in insertion order.
 type Recorder struct {
 	samples []time.Duration
-	sorted  bool
+	sorted  []time.Duration // cached sorted copy; nil when stale
 }
 
 // Add records one sample.
 func (r *Recorder) Add(d time.Duration) {
 	r.samples = append(r.samples, d)
-	r.sorted = false
+	r.sorted = nil
 }
 
 // Count reports the number of samples.
@@ -51,7 +51,8 @@ func (r *Recorder) Max() time.Duration {
 }
 
 // Percentile reports the q-quantile (0 <= q <= 1) using the nearest-rank
-// method on the sorted samples. Percentile(0.99) is the paper's p99.
+// method. Percentile(0.99) is the paper's p99. The insertion order of the
+// samples is preserved: the sort happens on a cached copy.
 func (r *Recorder) Percentile(q float64) time.Duration {
 	if len(r.samples) == 0 {
 		return 0
@@ -59,19 +60,36 @@ func (r *Recorder) Percentile(q float64) time.Duration {
 	if q < 0 || q > 1 {
 		panic(fmt.Sprintf("metrics: quantile %v out of [0,1]", q))
 	}
-	if !r.sorted {
-		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
-		r.sorted = true
+	if r.sorted == nil {
+		r.sorted = make([]time.Duration, len(r.samples))
+		copy(r.sorted, r.samples)
+		sort.Slice(r.sorted, func(i, j int) bool { return r.sorted[i] < r.sorted[j] })
 	}
 	rank := int(math.Ceil(q * float64(len(r.samples))))
 	if rank < 1 {
 		rank = 1
 	}
-	return r.samples[rank-1]
+	return r.sorted[rank-1]
 }
 
 // P99 is shorthand for Percentile(0.99).
 func (r *Recorder) P99() time.Duration { return r.Percentile(0.99) }
+
+// Stddev reports the population standard deviation of the samples
+// (0 with fewer than two samples).
+func (r *Recorder) Stddev() time.Duration {
+	n := len(r.samples)
+	if n < 2 {
+		return 0
+	}
+	mean := float64(r.Mean())
+	var ss float64
+	for _, s := range r.samples {
+		d := float64(s) - mean
+		ss += d * d
+	}
+	return time.Duration(math.Sqrt(ss / float64(n)))
+}
 
 // Clamp caps every recorded sample at limit — the paper's 60 s execution
 // timeout handling ("the end-to-end latency is marked the 60s").
@@ -81,7 +99,7 @@ func (r *Recorder) Clamp(limit time.Duration) {
 			r.samples[i] = limit
 		}
 	}
-	r.sorted = false
+	r.sorted = nil
 }
 
 // TimeoutRate reports the fraction of samples at or above limit.

@@ -206,3 +206,51 @@ func BenchmarkPercentile(b *testing.B) {
 		_ = r.P99()
 	}
 }
+
+func TestPercentileDoesNotReorderSamples(t *testing.T) {
+	var r Recorder
+	in := []time.Duration{5, 1, 4, 2, 3}
+	for _, d := range in {
+		r.Add(d)
+	}
+	if got := r.Percentile(0.5); got != 3 {
+		t.Fatalf("p50 = %v; want 3", got)
+	}
+	for i, d := range r.Samples() {
+		if d != in[i] {
+			t.Fatalf("samples reordered after Percentile: %v; want %v", r.Samples(), in)
+		}
+	}
+	// Cache must invalidate on Add.
+	r.Add(0)
+	if got := r.Percentile(0); got != 0 {
+		t.Fatalf("min after Add = %v; want 0", got)
+	}
+}
+
+func TestStddev(t *testing.T) {
+	var r Recorder
+	if r.Stddev() != 0 {
+		t.Fatal("stddev of empty recorder")
+	}
+	r.Add(10)
+	if r.Stddev() != 0 {
+		t.Fatal("stddev of single sample")
+	}
+	// Samples 2,4,4,4,5,5,7,9 → population stddev 2 (textbook example).
+	r2 := Recorder{}
+	for _, v := range []time.Duration{2, 4, 4, 4, 5, 5, 7, 9} {
+		r2.Add(v)
+	}
+	if got := r2.Stddev(); got != 2 {
+		t.Fatalf("stddev = %v; want 2", got)
+	}
+	// Identical samples → 0.
+	r3 := Recorder{}
+	for i := 0; i < 5; i++ {
+		r3.Add(42 * time.Millisecond)
+	}
+	if got := r3.Stddev(); got != 0 {
+		t.Fatalf("stddev of constant samples = %v; want 0", got)
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -79,6 +80,8 @@ type Flow struct {
 	src, dst  *link
 	finish    *sim.Event
 	fab       *Fabric
+	id        int64
+	startAt   sim.Time
 }
 
 // From reports the sending node.
@@ -104,7 +107,16 @@ type Fabric struct {
 	totalBytes int64
 	totalFlows int64
 	totalMsgs  int64
+
+	bus        *obs.Bus
+	nextFlowID int64
 }
+
+// SetBus attaches (or detaches, with nil) an observability bus. Bulk
+// transfers publish start and completion (with achieved rate) events;
+// control messages publish MsgEvents. Local (same-node) and empty
+// transfers bypass the fabric and publish nothing.
+func (f *Fabric) SetBus(b *obs.Bus) { f.bus = b }
 
 // New creates an empty fabric on env.
 func New(env *sim.Env, cfg Config) *Fabric {
@@ -195,6 +207,14 @@ func (f *Fabric) Send(from, to string, size int64, done func()) *Flow {
 		done: done,
 		src:  src.egress, dst: dst.ingress,
 		fab: f,
+		id:  f.nextFlowID, startAt: f.env.Now(),
+	}
+	f.nextFlowID++
+	if f.bus.Active() {
+		f.bus.Publish(obs.FlowEvent{
+			ID: fl.id, From: from, To: to, Bytes: size,
+			Active: len(f.flows) + 1, At: fl.startAt,
+		})
 	}
 	// The flow joins the fabric after propagation latency.
 	f.env.Schedule(f.cfg.MsgLatency, func() {
@@ -240,6 +260,9 @@ func (f *Fabric) SendMsg(from, to string, size int64, done func()) {
 	src.bytesOut += size
 	dst.bytesIn += size
 	f.totalBytes += size
+	if f.bus.Active() {
+		f.bus.Publish(obs.MsgEvent{From: from, To: to, Bytes: size, At: f.env.Now()})
+	}
 	f.env.Schedule(f.cfg.MsgLatency+ser, done)
 }
 
@@ -348,6 +371,17 @@ func (f *Fabric) complete(fl *Flow) {
 	delete(fl.dst.flows, fl)
 	fl.remaining = 0
 	f.resolve()
+	if f.bus.Active() {
+		now := f.env.Now()
+		rate := 0.0
+		if secs := (now - fl.startAt).Duration().Seconds(); secs > 0 {
+			rate = float64(fl.size) / secs
+		}
+		f.bus.Publish(obs.FlowEvent{
+			ID: fl.id, From: fl.from, To: fl.to, Bytes: fl.size,
+			Done: true, Rate: rate, Active: len(f.flows), At: now,
+		})
+	}
 	if fl.done != nil {
 		fl.done()
 	}

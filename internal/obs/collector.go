@@ -1,0 +1,149 @@
+package obs
+
+// Collector maps bus events onto a standard metric set in a Registry —
+// the series behind the gateway's GET /metrics endpoint. Metric names and
+// labels are documented in docs/OBSERVABILITY.md.
+type Collector struct {
+	invocations *Counter
+	invSeconds  *Histogram
+	steps       *Counter
+	phase       *Histogram
+	containers  *Counter
+	nodeLive    *Gauge
+	nodeMem     *Gauge
+	flows       *Counter
+	flowBytes   *Counter
+	activeFlows *Gauge
+	flowRate    *Histogram
+	msgs        *Counter
+	msgBytes    *Counter
+	storeOps    *Counter
+	storeBytes  *Counter
+	storeSecs   *Histogram
+	placements  *Counter
+	chainSecs   *Histogram
+}
+
+// NewCollector registers the standard metric families on reg and returns
+// a collector ready to attach: bus.Subscribe(c.Handle).
+func NewCollector(reg *Registry) *Collector {
+	return &Collector{
+		invocations: reg.Counter("faasflow_invocations_total",
+			"Completed workflow invocations.", "workflow", "mode", "result"),
+		invSeconds: reg.Histogram("faasflow_invocation_seconds",
+			"End-to-end invocation latency.", nil, "workflow", "mode"),
+		steps: reg.Counter("faasflow_steps_total",
+			"Workflow step state transitions.", "workflow", "state"),
+		phase: reg.Histogram("faasflow_step_phase_seconds",
+			"Executor phase durations.", nil, "phase"),
+		containers: reg.Counter("faasflow_container_events_total",
+			"Container lifecycle events.", "node", "event"),
+		nodeLive: reg.Gauge("faasflow_node_containers",
+			"Live containers per node.", "node"),
+		nodeMem: reg.Gauge("faasflow_node_mem_bytes",
+			"Bytes held by containers per node.", "node"),
+		flows: reg.Counter("faasflow_flows_total",
+			"Bulk transfers completed.", "from", "to"),
+		flowBytes: reg.Counter("faasflow_flow_bytes_total",
+			"Bytes moved by completed bulk transfers.", "from", "to"),
+		activeFlows: reg.Gauge("faasflow_active_flows",
+			"Bulk transfers currently in flight."),
+		flowRate: reg.Histogram("faasflow_flow_rate_mbps",
+			"Achieved flow rate in MB/s.", []float64{1, 5, 10, 25, 50, 100, 250, 500, 1000}),
+		msgs: reg.Counter("faasflow_msgs_total",
+			"Control messages sent."),
+		msgBytes: reg.Counter("faasflow_msg_bytes_total",
+			"Control message bytes sent."),
+		storeOps: reg.Counter("faasflow_store_ops_total",
+			"Storage operations.", "op", "tier", "result"),
+		storeBytes: reg.Counter("faasflow_store_bytes_total",
+			"Bytes moved through storage.", "op", "tier"),
+		storeSecs: reg.Histogram("faasflow_store_op_seconds",
+			"Storage operation latency.", nil, "op", "tier"),
+		placements: reg.Counter("faasflow_placements_total",
+			"Graph Scheduler placement decisions.", "workflow"),
+		chainSecs: reg.Histogram("faasflow_trigger_component_seconds",
+			"Control-plane trigger chain segment durations.", nil, "component"),
+	}
+}
+
+// Handle consumes one bus event; it is the Subscribe handler.
+func (c *Collector) Handle(ev Event) {
+	switch e := ev.(type) {
+	case InvocationEvent:
+		if e.End {
+			result := "ok"
+			if e.Failed {
+				result = "failed"
+			}
+			c.invocations.Inc(e.Workflow, e.Mode, result)
+		}
+	case StepEvent:
+		c.steps.Inc(e.Workflow, e.State.String())
+	case PhaseEvent:
+		c.phase.Observe((e.End - e.Start).Duration().Seconds(), e.Comp.String())
+	case ContainerEvent:
+		c.containers.Inc(e.Node, e.Op.String())
+		c.nodeLive.Set(float64(e.Containers), e.Node)
+		c.nodeMem.Set(float64(e.MemUsed), e.Node)
+	case FlowEvent:
+		c.activeFlows.Set(float64(e.Active))
+		if e.Done {
+			c.flows.Inc(e.From, e.To)
+			c.flowBytes.Add(float64(e.Bytes), e.From, e.To)
+			c.flowRate.Observe(e.Rate / 1e6)
+		}
+	case MsgEvent:
+		c.msgs.Inc()
+		c.msgBytes.Add(float64(e.Bytes))
+	case StoreEvent:
+		result := "hit"
+		if !e.Hit {
+			result = "miss"
+		}
+		c.storeOps.Inc(e.Op, e.Tier.String(), result)
+		c.storeBytes.Add(float64(e.Bytes), e.Op, e.Tier.String())
+		c.storeSecs.Observe((e.End - e.Start).Duration().Seconds(), e.Op, e.Tier.String())
+	case PlacementEvent:
+		c.placements.Inc(e.Workflow)
+	case TriggerChainEvent:
+		for _, s := range e.Segments {
+			c.chainSecs.Observe(s.Duration().Seconds(), s.Comp.String())
+		}
+	}
+}
+
+type invKey struct {
+	workflow string
+	inv      int64
+}
+
+// latencyTracker pairs invocation start and end events into the latency
+// histogram; the end event alone does not carry the start instant.
+type latencyTracker struct {
+	c      *Collector
+	starts map[invKey]InvocationEvent
+}
+
+// NewLatencyTracker wires invocation latency observation on top of a
+// collector. Attach with bus.Subscribe(t.Handle) after the collector.
+func NewLatencyTracker(c *Collector) func(Event) {
+	t := &latencyTracker{c: c, starts: map[invKey]InvocationEvent{}}
+	return t.handle
+}
+
+func (t *latencyTracker) handle(ev Event) {
+	e, ok := ev.(InvocationEvent)
+	if !ok {
+		return
+	}
+	k := invKey{e.Workflow, e.Inv}
+	if !e.End {
+		t.starts[k] = e
+		return
+	}
+	if s, ok := t.starts[k]; ok {
+		t.c.invSeconds.Observe((e.At - s.At).Duration().Seconds(), e.Workflow, e.Mode)
+		delete(t.starts, k)
+	}
+}

@@ -1,0 +1,84 @@
+package obs
+
+import "sort"
+
+// TraceLog is a bus subscriber that retains every event in arrival order,
+// for trace export and critical-path analysis. Memory is proportional to
+// run length; Reset between experiment phases when that matters.
+type TraceLog struct {
+	events []Event
+}
+
+// NewTraceLog returns an empty log. Attach it with bus.Subscribe(l.Record).
+func NewTraceLog() *TraceLog { return &TraceLog{} }
+
+// Record appends one event; it is the Subscribe handler.
+func (l *TraceLog) Record(ev Event) { l.events = append(l.events, ev) }
+
+// Len reports the number of retained events.
+func (l *TraceLog) Len() int { return len(l.events) }
+
+// Reset discards retained events.
+func (l *TraceLog) Reset() { l.events = l.events[:0] }
+
+// Events returns the retained events in arrival order (shared slice; do
+// not mutate).
+func (l *TraceLog) Events() []Event { return l.events }
+
+// Invocations lists the distinct invocation IDs with a recorded end event,
+// ascending — the invocations the analyzer can attribute.
+func (l *TraceLog) Invocations() []int64 {
+	seen := map[int64]bool{}
+	var out []int64
+	for _, ev := range l.events {
+		if ie, ok := ev.(InvocationEvent); ok && ie.End && !seen[ie.Inv] {
+			seen[ie.Inv] = true
+			out = append(out, ie.Inv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ForWorkflow returns a new log holding only the events scoped to the
+// named workflow — steps, phases, trigger chains, invocations, and
+// placements. Substrate events (containers, flows, messages, store ops)
+// carry no workflow identity and are dropped.
+func (l *TraceLog) ForWorkflow(name string) *TraceLog {
+	out := NewTraceLog()
+	for _, ev := range l.events {
+		var wf string
+		switch e := ev.(type) {
+		case StepEvent:
+			wf = e.Workflow
+		case PhaseEvent:
+			wf = e.Workflow
+		case TriggerChainEvent:
+			wf = e.Workflow
+		case InvocationEvent:
+			wf = e.Workflow
+		case PlacementEvent:
+			wf = e.Workflow
+		default:
+			continue
+		}
+		if wf == name {
+			out.Record(ev)
+		}
+	}
+	return out
+}
+
+// Workflows lists the distinct workflow names seen on invocation events.
+func (l *TraceLog) Workflows() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, ev := range l.events {
+		if ie, ok := ev.(InvocationEvent); ok && !seen[ie.Workflow] {
+			seen[ie.Workflow] = true
+			out = append(out, ie.Workflow)
+		}
+	}
+	sort.Strings(out)
+	return out
+}

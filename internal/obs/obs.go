@@ -1,0 +1,369 @@
+// Package obs is the unified observability layer: a typed event bus that
+// every substrate (engine, cluster, network, store, scheduler) publishes
+// to, a labeled metrics registry rendered in Prometheus text exposition
+// format, a trace log with a full-system Chrome trace export, and a
+// critical-path analyzer that attributes an invocation's end-to-end
+// latency to its components.
+//
+// The bus is nil-safe: every substrate holds a *Bus and publishes through
+// it unconditionally; when the bus is nil (no observer attached) a publish
+// is a single pointer comparison, so detached runs pay nothing. Because
+// the whole simulation is single-threaded, the bus needs no locking.
+package obs
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Component is one bucket of the critical-path latency attribution — where
+// a slice of end-to-end time went.
+type Component uint8
+
+const (
+	// CompAcquire is container acquisition: warm-pool wait, cold start, or
+	// queueing at the per-function scale limit.
+	CompAcquire Component = iota
+	// CompFetch is input download from FaaStore or the remote database.
+	CompFetch
+	// CompExec is function compute (including processor-sharing slowdown).
+	CompExec
+	// CompStore is output upload.
+	CompStore
+	// CompTransfer is control-plane traffic: state updates, task
+	// assignments, and sink reports crossing the fabric.
+	CompTransfer
+	// CompQueue is time spent waiting for a serialized engine loop slot.
+	CompQueue
+	// CompSchedule is engine-loop processing time (trigger checks, task
+	// marshalling) — the overhead WorkerSP decentralizes.
+	CompSchedule
+
+	numComponents
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompAcquire:
+		return "acquire"
+	case CompFetch:
+		return "fetch"
+	case CompExec:
+		return "exec"
+	case CompStore:
+		return "store"
+	case CompTransfer:
+		return "transfer"
+	case CompQueue:
+		return "queue"
+	case CompSchedule:
+		return "schedule"
+	default:
+		return fmt.Sprintf("Component(%d)", int(c))
+	}
+}
+
+// Components lists every attribution bucket in display order.
+func Components() []Component {
+	out := make([]Component, 0, numComponents)
+	for c := Component(0); c < numComponents; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Segment is one contiguous slice of virtual time attributed to a
+// component. Chains of segments are the raw material of the critical-path
+// analyzer: each chain's segments abut (Start of one equals End of the
+// previous), so summing them never double-counts.
+type Segment struct {
+	Comp  Component
+	Start sim.Time
+	End   sim.Time
+}
+
+// Duration reports the segment's width.
+func (s Segment) Duration() time.Duration { return (s.End - s.Start).Duration() }
+
+// Event is anything published on the bus. When reports the virtual instant
+// the event describes (for spans, the end instant).
+type Event interface {
+	Kind() string
+	When() sim.Time
+}
+
+// ---------------------------------------------------------------------------
+// Engine events.
+
+// StepState is a workflow step's lifecycle transition.
+type StepState uint8
+
+const (
+	// StepTriggered fires when a step's predecessors are satisfied and an
+	// engine starts it.
+	StepTriggered StepState = iota
+	// StepCompleted fires when all of a step's executors finished.
+	StepCompleted
+	// StepSkipped fires when a switch resolution (or upstream failure)
+	// drains the step without running it.
+	StepSkipped
+	// StepFailed fires when an executor exhausts its retry budget.
+	StepFailed
+	// StepRetried fires on each executor retry after a container crash.
+	StepRetried
+)
+
+func (s StepState) String() string {
+	switch s {
+	case StepTriggered:
+		return "triggered"
+	case StepCompleted:
+		return "completed"
+	case StepSkipped:
+		return "skipped"
+	case StepFailed:
+		return "failed"
+	case StepRetried:
+		return "retried"
+	default:
+		return fmt.Sprintf("StepState(%d)", int(s))
+	}
+}
+
+// StepEvent is a workflow step state transition.
+type StepEvent struct {
+	Workflow string
+	Inv      int64
+	Node     int // dag.NodeID of the step
+	Name     string
+	Worker   string
+	State    StepState
+	At       sim.Time
+}
+
+func (e StepEvent) Kind() string   { return "step" }
+func (e StepEvent) When() sim.Time { return e.At }
+
+// PhaseEvent is one executor phase span (acquire, fetch, exec, store).
+type PhaseEvent struct {
+	Workflow string
+	Inv      int64
+	Node     int
+	Name     string // step name, without replica suffix
+	Replica  int
+	Comp     Component // CompAcquire | CompFetch | CompExec | CompStore
+	Worker   string
+	Start    sim.Time
+	End      sim.Time
+}
+
+func (e PhaseEvent) Kind() string   { return "phase" }
+func (e PhaseEvent) When() sim.Time { return e.End }
+
+// InvocationEvent marks an invocation's start or end.
+type InvocationEvent struct {
+	Workflow string
+	Inv      int64
+	Mode     string // WorkerSP | MasterSP
+	End      bool
+	Failed   bool
+	At       sim.Time
+}
+
+func (e InvocationEvent) Kind() string   { return "invocation" }
+func (e InvocationEvent) When() sim.Time { return e.At }
+
+// TriggerChainEvent records the full causal chain from one step's
+// completion (or the invocation's arrival, From = -1) to a successor's
+// trigger evaluation (or the invocation's completion, To = -1): engine
+// queue waits, engine processing slots, and fabric transfers, as abutting
+// segments. The analyzer stitches binding chains into the critical path.
+type TriggerChainEvent struct {
+	Workflow string
+	Inv      int64
+	From     int // dag.NodeID, -1 = invocation ingress
+	To       int // dag.NodeID, -1 = invocation completion
+	Segments []Segment
+}
+
+func (e TriggerChainEvent) Kind() string { return "trigger-chain" }
+func (e TriggerChainEvent) When() sim.Time {
+	if len(e.Segments) == 0 {
+		return 0
+	}
+	return e.Segments[len(e.Segments)-1].End
+}
+
+// ---------------------------------------------------------------------------
+// Cluster events.
+
+// ContainerOp is a container lifecycle transition.
+type ContainerOp uint8
+
+const (
+	// ContainerColdStart is a new container being provisioned.
+	ContainerColdStart ContainerOp = iota
+	// ContainerWarmReuse is a warm container being handed to a request.
+	ContainerWarmReuse
+	// ContainerQueued is a request waiting for the scale limit or memory.
+	ContainerQueued
+	// ContainerEvicted is a warm container aging out of the keep-alive.
+	ContainerEvicted
+	// ContainerDestroyed is an explicit destroy (crash or red-black drain).
+	ContainerDestroyed
+)
+
+func (o ContainerOp) String() string {
+	switch o {
+	case ContainerColdStart:
+		return "cold_start"
+	case ContainerWarmReuse:
+		return "warm_reuse"
+	case ContainerQueued:
+		return "queued"
+	case ContainerEvicted:
+		return "evicted"
+	case ContainerDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("ContainerOp(%d)", int(o))
+	}
+}
+
+// ContainerEvent is a container lifecycle transition on one node, with the
+// node's occupancy at that instant (for counter tracks).
+type ContainerEvent struct {
+	Node       string
+	Function   string
+	Op         ContainerOp
+	Containers int   // live containers after the op
+	MemUsed    int64 // bytes held by containers after the op
+	At         sim.Time
+}
+
+func (e ContainerEvent) Kind() string   { return "container" }
+func (e ContainerEvent) When() sim.Time { return e.At }
+
+// ---------------------------------------------------------------------------
+// Network events.
+
+// FlowEvent marks a bulk transfer starting or finishing. End events carry
+// the achieved rate (total bytes over the flow's lifetime, which max-min
+// fair sharing may have throttled well below link capacity).
+type FlowEvent struct {
+	ID     int64
+	From   string
+	To     string
+	Bytes  int64
+	Done   bool
+	Rate   float64 // bytes/sec achieved; 0 on start events
+	Active int     // flows in flight after this event
+	At     sim.Time
+}
+
+func (e FlowEvent) Kind() string   { return "flow" }
+func (e FlowEvent) When() sim.Time { return e.At }
+
+// MsgEvent is one small control message crossing the fabric.
+type MsgEvent struct {
+	From  string
+	To    string
+	Bytes int64
+	At    sim.Time
+}
+
+func (e MsgEvent) Kind() string   { return "msg" }
+func (e MsgEvent) When() sim.Time { return e.At }
+
+// ---------------------------------------------------------------------------
+// Store events.
+
+// StoreTier says which storage tier served an operation.
+type StoreTier uint8
+
+const (
+	// TierMemory is a worker-local FaaStore in-memory store.
+	TierMemory StoreTier = iota
+	// TierRemote is the remote database on the storage node.
+	TierRemote
+)
+
+func (t StoreTier) String() string {
+	if t == TierMemory {
+		return "memory"
+	}
+	return "remote"
+}
+
+// StoreEvent is one completed storage operation.
+type StoreEvent struct {
+	Op     string // "get" | "put"
+	Key    string
+	Worker string // the worker issuing the op
+	Tier   StoreTier
+	Bytes  int64
+	Hit    bool // gets: key existed; puts: always true
+	Start  sim.Time
+	End    sim.Time
+}
+
+func (e StoreEvent) Kind() string   { return "store" }
+func (e StoreEvent) When() sim.Time { return e.End }
+
+// ---------------------------------------------------------------------------
+// Scheduler events.
+
+// PlacementGroup summarizes one function group of a placement decision.
+type PlacementGroup struct {
+	Worker string
+	Nodes  int
+	Demand float64
+}
+
+// PlacementEvent is one Graph Scheduler decision.
+type PlacementEvent struct {
+	Workflow       string
+	Groups         []PlacementGroup
+	Iterations     int
+	LocalizedBytes int64
+	At             sim.Time
+}
+
+func (e PlacementEvent) Kind() string   { return "placement" }
+func (e PlacementEvent) When() sim.Time { return e.At }
+
+// ---------------------------------------------------------------------------
+// Bus.
+
+// Bus fans events out to subscribers. A nil *Bus is valid and inert, so
+// substrates publish unconditionally and detached runs stay zero-cost.
+type Bus struct {
+	subs []func(Event)
+}
+
+// NewBus returns an empty bus.
+func NewBus() *Bus { return &Bus{} }
+
+// Subscribe registers a handler for every subsequent event.
+func (b *Bus) Subscribe(fn func(Event)) {
+	if fn == nil {
+		panic("obs: nil subscriber")
+	}
+	b.subs = append(b.subs, fn)
+}
+
+// Publish delivers ev to every subscriber. Safe on a nil bus.
+func (b *Bus) Publish(ev Event) {
+	if b == nil {
+		return
+	}
+	for _, s := range b.subs {
+		s(ev)
+	}
+}
+
+// Active reports whether publishing would reach any subscriber. Substrates
+// may use it to skip building expensive event payloads.
+func (b *Bus) Active() bool { return b != nil && len(b.subs) > 0 }

@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/internal/dag"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -50,6 +51,29 @@ type Input struct {
 	LocalBps  float64
 	// Seed drives the initial hash assignment.
 	Seed uint64
+	// Bus, when attached, receives a PlacementEvent per decision. Workflow
+	// and Now label the event (the scheduler itself is clock-free).
+	Bus      *obs.Bus
+	Workflow string
+	Now      sim.Time
+}
+
+// publish emits the placement decision on the input's bus, if any.
+func (in *Input) publish(p *Placement) {
+	if !in.Bus.Active() {
+		return
+	}
+	groups := make([]obs.PlacementGroup, len(p.Groups))
+	for i, g := range p.Groups {
+		groups[i] = obs.PlacementGroup{Worker: g.Worker, Nodes: len(g.Nodes), Demand: g.Demand}
+	}
+	in.Bus.Publish(obs.PlacementEvent{
+		Workflow:       in.Workflow,
+		Groups:         groups,
+		Iterations:     p.Iterations,
+		LocalizedBytes: p.LocalizedBytes,
+		At:             in.Now,
+	})
 }
 
 func (in *Input) defaults() error {
@@ -159,7 +183,9 @@ func Schedule(in Input) (*Placement, error) {
 			break
 		}
 	}
-	return s.placement(iterations), nil
+	p := s.placement(iterations)
+	in.publish(p)
+	return p, nil
 }
 
 // HashPartition is the paper's first-iteration strategy (used before any
@@ -176,7 +202,9 @@ func HashPartition(in Input) (*Placement, error) {
 	if err := s.mergeAtomicGroups(); err != nil {
 		return nil, err
 	}
-	return s.placement(1), nil
+	p := s.placement(1)
+	in.publish(p)
+	return p, nil
 }
 
 type state struct {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/network"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -289,6 +290,29 @@ type Hybrid struct {
 	localHits  int64
 	localMiss  int64
 	remoteOnly bool
+	bus        *obs.Bus
+}
+
+// SetBus attaches (or detaches, with nil) an observability bus; every
+// completed Put/Get publishes a StoreEvent carrying the serving tier,
+// hit/miss outcome, and the operation's span.
+func (h *Hybrid) SetBus(b *obs.Bus) { h.bus = b }
+
+// pubOp publishes one completed storage operation.
+func (h *Hybrid) pubOp(op, key, worker string, tier obs.StoreTier, bytes int64, hit bool, start sim.Time) {
+	if !h.bus.Active() {
+		return
+	}
+	h.bus.Publish(obs.StoreEvent{
+		Op:     op,
+		Key:    key,
+		Worker: worker,
+		Tier:   tier,
+		Bytes:  bytes,
+		Hit:    hit,
+		Start:  start,
+		End:    h.remote.env.Now(),
+	})
 }
 
 // NewHybrid builds a FaaStore over one remote store and the per-worker
@@ -313,15 +337,23 @@ func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func
 	if done == nil {
 		done = func(Location) {}
 	}
+	start := h.remote.env.Now()
 	if !h.remoteOnly && h.allLocal(from, consumers) {
-		if m := h.mem[from]; m != nil && m.TryPut(key, size, func() { done(LocMemory) }) {
+		ok := h.mem[from] != nil && h.mem[from].TryPut(key, size, func() {
+			h.pubOp("put", key, from, obs.TierMemory, size, true, start)
+			done(LocMemory)
+		})
+		if ok {
 			h.placements[key] = LocMemory
 			h.homes[key] = from
 			return
 		}
 	}
 	h.placements[key] = LocRemote
-	h.remote.Put(from, key, size, func() { done(LocRemote) })
+	h.remote.Put(from, key, size, func() {
+		h.pubOp("put", key, from, obs.TierRemote, size, true, start)
+		done(LocRemote)
+	})
 }
 
 func (h *Hybrid) allLocal(from string, consumers []string) bool {
@@ -341,15 +373,22 @@ func (h *Hybrid) Get(at, key string, done func(size int64, ok bool)) {
 	if done == nil {
 		done = func(int64, bool) {}
 	}
+	start := h.remote.env.Now()
 	if h.placements[key] == LocMemory && h.homes[key] == at {
 		if m := h.mem[at]; m != nil && m.Has(key) {
 			h.localHits++
-			m.Get(key, done)
+			m.Get(key, func(size int64, ok bool) {
+				h.pubOp("get", key, at, obs.TierMemory, size, ok, start)
+				done(size, ok)
+			})
 			return
 		}
 	}
 	h.localMiss++
-	h.remote.Get(at, key, done)
+	h.remote.Get(at, key, func(size int64, ok bool) {
+		h.pubOp("get", key, at, obs.TierRemote, size, ok, start)
+		done(size, ok)
+	})
 }
 
 // Where reports a key's recorded placement.
