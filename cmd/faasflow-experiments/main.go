@@ -21,6 +21,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/network"
 )
 
 // csvDir, when set, receives each experiment's table as <name>.csv.
@@ -64,8 +65,9 @@ func emit(name string, t *metrics.Table) {
 
 func main() {
 	var (
-		run = flag.String("run", "all", "comma-separated experiment list or 'all'")
-		n   = flag.Int("n", 1000, "invocations per measurement")
+		run  = flag.String("run", "all", "comma-separated experiment list or 'all'")
+		n    = flag.Int("n", 1000, "invocations per measurement")
+		snap = flag.String("snapshot", "", "also write a flight-recorder snapshot (Gen+Vid on FaaSFlow-FaaStore) to this file")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's table as CSV into this directory")
 	flag.StringVar(&svgDir, "svg", "", "also write each experiment's figure as SVG into this directory")
@@ -99,7 +101,26 @@ func main() {
 		}
 		fmt.Printf("(%s completed in %v)\n\n", exp.name, time.Since(start).Round(time.Millisecond))
 	}
-	if ran == 0 {
+	if *snap != "" {
+		inv := *n
+		if inv > 50 {
+			inv = 50 // the snapshot holds the full event log; cap its size
+		}
+		s, err := harness.RunSnapshot(harness.FaaSFlowFaaStore, []string{"Gen", "Vid"}, inv,
+			network.MBps(50), map[string]string{"source": "faasflow-experiments"})
+		if err == nil {
+			var data []byte
+			if data, err = s.Marshal(); err == nil {
+				err = os.WriteFile(*snap, data, 0o644)
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasflow-experiments: snapshot:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("snapshot: wrote %s (%d events)\n", *snap, len(s.Events))
+	}
+	if ran == 0 && *snap == "" {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57\n", *run)
 		os.Exit(1)
 	}

@@ -1,20 +1,27 @@
 // Command faasflow-trace works with workflow execution traces: generate a
 // synthetic Pegasus-shaped instance, export one of the built-in paper
-// benchmarks as a trace, or run a trace file through the FaaSFlow engines.
+// benchmarks as a trace, run a trace file through the FaaSFlow engines, or
+// analyze runs (attribution, utilization, regression diffing).
 //
 //	faasflow-trace gen -jobs 50 -seed 7 > genome-like.json
 //	faasflow-trace export -bench Epi > epi.json
 //	faasflow-trace run -file genome-like.json -mode worker -n 50
 //	faasflow-trace report -bench Gen -n 20   # attribution, both patterns
+//	faasflow-trace util -bench Gen -n 20 -snapshot run.json
+//	faasflow-trace diff old.json new.json    # exit 1 on regression
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/harness"
+	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/trace"
 	"repro/internal/workloads"
@@ -34,6 +41,10 @@ func main() {
 		err = cmdRun(os.Args[2:])
 	case "report":
 		err = cmdReport(os.Args[2:])
+	case "util":
+		err = cmdUtil(os.Args[2:])
+	case "diff":
+		err = cmdDiff(os.Args[2:])
 	default:
 		usage()
 	}
@@ -48,7 +59,10 @@ func usage() {
   faasflow-trace gen    -jobs N [-stages K] [-seed S] [-runtime SEC] [-output BYTES]
   faasflow-trace export -bench NAME
   faasflow-trace run    -file TRACE.json [-mode worker|master] [-faastore] [-n N]
-  faasflow-trace report -bench NAME | -file TRACE.json [-faastore] [-n N]`)
+  faasflow-trace report -bench NAME | -file TRACE.json [-faastore] [-n N] [-json]
+  faasflow-trace util   -bench NAME[,NAME...] [-mode worker|master] [-faastore]
+                        [-n N] [-storage-bw MBPS] [-snapshot OUT.json] [-json]
+  faasflow-trace diff   [-noise FRAC] [-floor DUR] [-json] OLD.json NEW.json`)
 	os.Exit(2)
 }
 
@@ -153,6 +167,7 @@ func cmdReport(args []string) error {
 	file := fs.String("file", "", "trace JSON file to analyze instead of a benchmark")
 	faastore := fs.Bool("faastore", true, "enable FaaStore")
 	n := fs.Int("n", 20, "closed-loop invocations per pattern")
+	jsonOut := fs.Bool("json", false, "emit the attribution as JSON instead of tables")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -180,6 +195,15 @@ func cmdReport(args []string) error {
 	default:
 		return fmt.Errorf("pass -bench NAME or -file TRACE.json")
 	}
+	// reportEntry is the -json shape: one entry per scheduling pattern.
+	type reportEntry struct {
+		Workflow     string           `json:"workflow"`
+		Mode         string           `json:"mode"`
+		Count        int              `json:"count"`
+		MeanTotalNs  int64            `json:"meanTotalNs"`
+		ComponentsNs map[string]int64 `json:"componentsNs"`
+	}
+	var entries []reportEntry
 	for _, m := range []engine.Mode{engine.ModeWorkerSP, engine.ModeMasterSP} {
 		tb := harness.NewTestbed(harness.ClusterSpec{FaaStore: *faastore})
 		bus := obs.NewBus()
@@ -195,7 +219,141 @@ func cmdReport(args []string) error {
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%s %s\n%s", b.Name, m, obs.Summarize(bds).String())
+		s := obs.Summarize(bds)
+		if *jsonOut {
+			comps := map[string]int64{}
+			for c, dur := range s.Mean {
+				comps[c.String()] = int64(dur)
+			}
+			entries = append(entries, reportEntry{
+				Workflow:     b.Name,
+				Mode:         fmt.Sprint(m),
+				Count:        s.Count,
+				MeanTotalNs:  int64(s.MeanTotal),
+				ComponentsNs: comps,
+			})
+			continue
+		}
+		fmt.Printf("%s %s\n%s", b.Name, m, s.String())
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(entries)
+	}
+	return nil
+}
+
+// cmdUtil runs benchmarks under one scheduling pattern with the flight
+// recorder attached and prints per-resource utilization summaries plus the
+// bottleneck attribution; -snapshot writes the full artifact for diffing.
+func cmdUtil(args []string) error {
+	fs := flag.NewFlagSet("util", flag.ExitOnError)
+	bench := fs.String("bench", "", "benchmark name(s), comma separated (Cyc, Epi, Gen, Soy, Vid, IR, FP, WC)")
+	mode := fs.String("mode", "worker", "worker or master")
+	faastore := fs.Bool("faastore", true, "enable FaaStore (worker mode only)")
+	n := fs.Int("n", 20, "closed-loop invocations per benchmark")
+	storageMB := fs.Float64("storage-bw", 50, "storage link bandwidth in MB/s")
+	snapshot := fs.String("snapshot", "", "write the flight-recorder snapshot JSON here")
+	jsonOut := fs.Bool("json", false, "emit utilization summaries as JSON instead of tables")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bench == "" {
+		return fmt.Errorf("missing -bench")
+	}
+	var sys harness.System
+	switch {
+	case *mode == "master":
+		sys = harness.HyperFlow
+	case *mode == "worker" && *faastore:
+		sys = harness.FaaSFlowFaaStore
+	case *mode == "worker":
+		sys = harness.FaaSFlow
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	names := strings.Split(*bench, ",")
+	snap, err := harness.RunSnapshot(sys, names, *n, network.MBps(*storageMB), map[string]string{
+		"benchmarks": *bench,
+		"mode":       *mode,
+	})
+	if err != nil {
+		return err
+	}
+	if *snapshot != "" {
+		data, err := snap.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*snapshot, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d events)\n", *snapshot, len(snap.Events))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		return enc.Encode(snap.Utilization)
+	}
+	fmt.Printf("utilization (%s, %d resource(s)):\n", sys, len(snap.Utilization))
+	fmt.Printf("  %-24s %12s %12s %12s %6s %6s\n", "resource", "mean", "peak", "p95", "busy%", "occ%")
+	for _, rs := range snap.Utilization {
+		fmt.Printf("  %-24s %12.3g %12.3g %12.3g %5.1f%% %5.1f%%\n",
+			rs.Name, rs.Mean, rs.Peak, rs.P95, 100*rs.BusyFrac, 100*rs.MeanOcc)
+	}
+	log := snap.Log()
+	ibs, err := obs.AttributeBottlenecks(log, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Println()
+	for _, s := range obs.SummarizeBottlenecks(ibs) {
+		fmt.Print(s.String())
+	}
+	return nil
+}
+
+// cmdDiff compares two snapshots and exits non-zero when a regression
+// beyond the noise thresholds is flagged — the CI gate.
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	noise := fs.Float64("noise", 0.02, "relative change below which a delta is noise")
+	floor := fs.Duration("floor", time.Millisecond, "absolute change below which a delta is noise")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON instead of a table")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly two snapshot files, got %d", fs.NArg())
+	}
+	load := func(path string) (*obs.Snapshot, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return obs.ParseSnapshot(data)
+	}
+	oldS, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newS, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	res := obs.Diff(oldS, newS, obs.DiffOptions{NoiseFrac: *noise, NoiseFloorNs: int64(*floor)})
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(res.String())
+	}
+	if res.Regressions > 0 {
+		return fmt.Errorf("%d regression(s) detected", res.Regressions)
 	}
 	return nil
 }

@@ -77,6 +77,26 @@ func ExampleBenchmarks() {
 	// WC: 14 tasks
 }
 
+// Snapshots of identical runs are byte-identical, so a diff between them
+// is always clean — the property the CI regression gate relies on.
+func ExampleDiffSnapshots() {
+	capture := func() *faasflow.Snapshot {
+		cluster := faasflow.NewCluster(faasflow.WithSeed(1))
+		o := faasflow.NewObserver()
+		cluster.AttachObserver(o)
+		app, err := cluster.Deploy(faasflow.Benchmark("FP"), faasflow.WorkerSP)
+		if err != nil {
+			panic(err)
+		}
+		app.Run(5)
+		return o.Snapshot(map[string]string{"system": "WorkerSP"})
+	}
+	diff := faasflow.DiffSnapshots(capture(), capture())
+	fmt.Printf("regressions: %d\n", diff.Regressions)
+	// Output:
+	// regressions: 0
+}
+
 // Switch steps route per invocation when arguments are supplied.
 func ExampleApp_RunWithArgs() {
 	src := `

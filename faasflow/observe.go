@@ -2,6 +2,7 @@ package faasflow
 
 import (
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/obs"
@@ -71,8 +72,13 @@ func (o *Observer) Workflows() []string { return o.log.Workflows() }
 // Events reports how many events have been observed.
 func (o *Observer) Events() int { return o.log.Len() }
 
-// Reset discards the event log (metrics counters keep accumulating).
-func (o *Observer) Reset() { o.log.Reset() }
+// Reset discards the event log and zeroes every gauge, so a reused
+// observer does not report stale per-node occupancy from the previous run.
+// Counters and histograms are cumulative and keep accumulating.
+func (o *Observer) Reset() {
+	o.log.Reset()
+	o.reg.ZeroGauges()
+}
 
 // Breakdown attributes one invocation's end-to-end latency to latency
 // components. Component keys are the analyzer's buckets: acquire, fetch,
@@ -144,4 +150,63 @@ func (o *Observer) ReportText() (string, error) {
 		return "", err
 	}
 	return obs.Summarize(bds).String(), nil
+}
+
+// ResourceUtilization is one resource's condensed occupancy timeline: mean,
+// peak, and p95 in native units, busy fraction, and — for capacitated
+// resources — mean/peak occupancy in [0, 1].
+type ResourceUtilization = obs.ResourceSummary
+
+// Utilization folds everything observed so far into per-resource occupancy
+// summaries — per-node CPU/memory/container/warm-pool counts, per-link
+// achieved bandwidth, per-function queue depths — sorted by resource name.
+func (o *Observer) Utilization() []ResourceUtilization {
+	return obs.ComputeUtilization(o.log).Summaries()
+}
+
+// BottleneckSummary is one (workflow, mode) group's aggregated bottleneck
+// attribution: per-component mean critical-path time joined with the most
+// saturated underlying resource.
+type BottleneckSummary = obs.BottleneckSummary
+
+// Bottlenecks joins every completed invocation's critical path with
+// resource saturation and aggregates per (workflow, mode).
+func (o *Observer) Bottlenecks() ([]BottleneckSummary, error) {
+	ibs, err := obs.AttributeBottlenecks(o.log, nil)
+	if err != nil {
+		return nil, err
+	}
+	return obs.SummarizeBottlenecks(ibs), nil
+}
+
+// Snapshot is a flight-recorder artifact: the full event log, per-workflow
+// latency statistics, and utilization summaries as versioned JSON. Two
+// identical runs produce byte-identical snapshots.
+type Snapshot = obs.Snapshot
+
+// Snapshot captures everything observed so far. meta carries caller labels
+// (system, benchmark, commit); keep wall-clock values out of it when
+// byte-identical reruns matter.
+func (o *Observer) Snapshot(meta map[string]string) *Snapshot {
+	return obs.BuildSnapshot(o.log, meta)
+}
+
+// LoadSnapshot reads a snapshot file written with Snapshot.Marshal.
+func LoadSnapshot(path string) (*Snapshot, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return obs.ParseSnapshot(data)
+}
+
+// SnapshotDiff is a run-to-run comparison: per-(workflow, mode) latency
+// percentile deltas with Regressions/Improvements totals; String() renders
+// the table.
+type SnapshotDiff = obs.DiffResult
+
+// DiffSnapshots compares two snapshots with default noise thresholds (2%
+// relative, 1ms absolute). Use obs.Diff directly for custom thresholds.
+func DiffSnapshots(oldS, newS *Snapshot) *SnapshotDiff {
+	return obs.Diff(oldS, newS, obs.DiffOptions{})
 }

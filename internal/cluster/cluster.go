@@ -91,12 +91,29 @@ type Node struct {
 
 // SetBus attaches (or detaches, with nil) an observability bus; container
 // lifecycle transitions publish to it with the node's occupancy snapshot.
-func (n *Node) SetBus(b *obs.Bus) { n.bus = b }
+// On attach the node describes its hardware with a NodeCapacityEvent, so
+// the log is self-contained for utilization analysis.
+func (n *Node) SetBus(b *obs.Bus) {
+	n.bus = b
+	if b.Active() {
+		b.Publish(obs.NodeCapacityEvent{
+			Node:         n.id,
+			Cores:        n.cfg.Cores,
+			MemBytes:     n.cfg.DRAM,
+			ContainerMem: n.cfg.ContainerMem,
+			At:           n.env.Now(),
+		})
+	}
+}
 
 // pubContainer publishes one lifecycle transition with current occupancy.
 func (n *Node) pubContainer(fn string, op obs.ContainerOp) {
 	if !n.bus.Active() {
 		return
+	}
+	var warm, queued int
+	if p := n.pools[fn]; p != nil {
+		warm, queued = len(p.warm), len(p.waiting)
 	}
 	n.bus.Publish(obs.ContainerEvent{
 		Node:       n.id,
@@ -104,7 +121,22 @@ func (n *Node) pubContainer(fn string, op obs.ContainerOp) {
 		Op:         op,
 		Containers: n.containers,
 		MemUsed:    n.memUsed,
+		Warm:       warm,
+		Queued:     queued,
 		At:         n.env.Now(),
+	})
+}
+
+// pubTask publishes one CPU slot transition with the running-task count.
+func (n *Node) pubTask(start bool) {
+	if !n.bus.Active() {
+		return
+	}
+	n.bus.Publish(obs.TaskEvent{
+		Node:    n.id,
+		Running: len(n.running),
+		Start:   start,
+		At:      n.env.Now(),
 	})
 }
 
@@ -263,8 +295,8 @@ func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 	}
 	// Saturated: wait for a release.
 	n.stats.QueuedWaits++
-	n.pubContainer(fn, obs.ContainerQueued)
 	p.waiting = append(p.waiting, ready)
+	n.pubContainer(fn, obs.ContainerQueued)
 }
 
 // Prewarm creates up to count warm containers for fn ahead of traffic (the
@@ -308,6 +340,7 @@ func (n *Node) Release(c *Container) {
 	c.idle = true
 	p.warm = append(p.warm, c)
 	c.expiry = n.env.Schedule(n.cfg.KeepAlive, func() { n.evict(c) })
+	n.pubContainer(c.Fn, obs.ContainerReleased)
 }
 
 // Destroy removes a container immediately (red-black recycling of
@@ -369,6 +402,7 @@ func (n *Node) Exec(cpuSeconds float64, done func()) {
 	if len(n.running) > n.stats.PeakConcurrent {
 		n.stats.PeakConcurrent = len(n.running)
 	}
+	n.pubTask(true)
 	n.rescheduleCPU()
 }
 
@@ -420,6 +454,7 @@ func (n *Node) rescheduleCPU() {
 func (n *Node) finishTask(t *cpuTask) {
 	n.settleCPU()
 	delete(n.running, t)
+	n.pubTask(false)
 	n.rescheduleCPU()
 	t.done()
 }

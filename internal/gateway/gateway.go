@@ -7,8 +7,10 @@
 //	GET  /workflows/{name}     placement, groups, locality
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
 //	GET  /workflows/{name}/trace   Chrome trace of observed invocations
+//	GET  /workflows/{name}/bottlenecks  critical path joined with saturation
 //	GET  /benchmarks           the built-in paper workloads
 //	GET  /cluster              cumulative utilization counters
+//	GET  /utilization          per-resource occupancy timeline summaries
 //	GET  /metrics              Prometheus text exposition
 //
 // The simulation is single-threaded, so the handler serializes requests;
@@ -80,6 +82,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/workflows/", s.handleWorkflow)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/utilization", s.handleUtilization)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
 }
@@ -275,6 +278,24 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(data)
+	case action == "bottlenecks" && r.Method == http.MethodGet:
+		all, err := s.obs.Bottlenecks()
+		if err != nil {
+			fail(w, &httpError{http.StatusInternalServerError, err.Error()})
+			return
+		}
+		var out []faasflow.BottleneckSummary
+		for _, b := range all {
+			if b.Workflow == name {
+				out = append(out, b)
+			}
+		}
+		if len(out) == 0 {
+			fail(w, &httpError{http.StatusNotFound,
+				fmt.Sprintf("no completed invocations observed for workflow %q", name)})
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
 	default:
 		fail(w, &httpError{http.StatusMethodNotAllowed, "unknown action"})
 	}
@@ -328,6 +349,22 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		"storeLocalHits": u.StoreLocalHits,
 		"storeRemoteOps": u.StoreRemoteOps,
 	})
+}
+
+// handleUtilization serves the observer's per-resource occupancy timeline
+// summaries (distinct from /cluster's cumulative counters).
+func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		fail(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+		return
+	}
+	s.mu.Lock()
+	u := s.obs.Utilization()
+	s.mu.Unlock()
+	if u == nil {
+		u = []faasflow.ResourceUtilization{}
+	}
+	writeJSON(w, http.StatusOK, u)
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }

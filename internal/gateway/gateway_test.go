@@ -139,6 +139,34 @@ func TestClusterStats(t *testing.T) {
 	}
 }
 
+func TestUtilizationAndBottleneckEndpoints(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke", map[string]any{"n": 3}, nil)
+
+	var resources []map[string]any
+	if code := doJSON(t, http.MethodGet, srv.URL+"/utilization", nil, &resources); code != 200 {
+		t.Fatalf("utilization status = %d", code)
+	}
+	names := map[string]bool{}
+	for _, r := range resources {
+		names[r["name"].(string)] = true
+	}
+	for _, want := range []string{"node:w0:cpu", "node:w0:containers", "link:master:egress"} {
+		if !names[want] {
+			t.Fatalf("utilization missing %s; got %v", want, names)
+		}
+	}
+
+	var sums []map[string]any
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/etl/bottlenecks", nil, &sums); code != 200 {
+		t.Fatalf("bottlenecks status = %d", code)
+	}
+	if len(sums) != 1 || sums[0]["workflow"] != "etl" {
+		t.Fatalf("bottlenecks = %v", sums)
+	}
+}
+
 func TestBenchmarksEndpoint(t *testing.T) {
 	srv := newTestServer(t)
 	var out []map[string]any
@@ -165,6 +193,8 @@ func TestErrorPaths(t *testing.T) {
 		{"DELETE", "/workflows", nil, http.StatusMethodNotAllowed},
 		{"POST", "/benchmarks", map[string]any{}, http.StatusMethodNotAllowed},
 		{"POST", "/cluster", map[string]any{}, http.StatusMethodNotAllowed},
+		{"POST", "/utilization", map[string]any{}, http.StatusMethodNotAllowed},
+		{"GET", "/workflows/ghost/bottlenecks", nil, http.StatusNotFound},
 	}
 	for _, tc := range cases {
 		var out map[string]any

@@ -7,6 +7,7 @@ package harness
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -94,8 +95,15 @@ type Testbed struct {
 func (tb *Testbed) AttachBus(b *obs.Bus) {
 	tb.bus = b
 	tb.Fabric.SetBus(b)
-	for _, n := range tb.Runtime.Nodes {
-		n.SetBus(b)
+	// Sorted node order: attach publishes NodeCapacityEvents, and snapshots
+	// of identical runs must be byte-identical for the regression gate.
+	ids := make([]string, 0, len(tb.Runtime.Nodes))
+	for id := range tb.Runtime.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		tb.Runtime.Nodes[id].SetBus(b)
 	}
 	tb.Runtime.Store.SetBus(b)
 	for _, eng := range tb.engines {

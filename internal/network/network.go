@@ -115,8 +115,31 @@ type Fabric struct {
 // SetBus attaches (or detaches, with nil) an observability bus. Bulk
 // transfers publish start and completion (with achieved rate) events;
 // control messages publish MsgEvents. Local (same-node) and empty
-// transfers bypass the fabric and publish nothing.
-func (f *Fabric) SetBus(b *obs.Bus) { f.bus = b }
+// transfers bypass the fabric and publish nothing. On attach the fabric
+// describes every node's link capacities with LinkCapacityEvents (in
+// sorted node order), so the log is self-contained for utilization
+// analysis.
+func (f *Fabric) SetBus(b *obs.Bus) {
+	f.bus = b
+	if b.Active() {
+		for _, id := range f.order {
+			f.pubCapacity(f.nodes[id])
+		}
+	}
+}
+
+// pubCapacity publishes one node's current link capacities.
+func (f *Fabric) pubCapacity(n *node) {
+	if !f.bus.Active() {
+		return
+	}
+	f.bus.Publish(obs.LinkCapacityEvent{
+		Node:       n.id,
+		EgressBps:  float64(n.egress.capacity),
+		IngressBps: float64(n.ingress.capacity),
+		At:         f.env.Now(),
+	})
+}
 
 // New creates an empty fabric on env.
 func New(env *sim.Env, cfg Config) *Fabric {
@@ -165,6 +188,7 @@ func (f *Fabric) SetBandwidth(id string, egress, ingress Bandwidth) {
 	f.settleAll()
 	n.egress.capacity = egress
 	n.ingress.capacity = ingress
+	f.pubCapacity(n)
 	f.resolve()
 }
 
@@ -287,25 +311,35 @@ func (f *Fabric) settleAll() {
 
 // resolve computes max-min fair rates for all active flows (progressive
 // filling over the 2-resource path egress→ingress) and schedules each
-// flow's completion.
+// flow's completion. Every loop iterates flows in flow-ID order: float
+// accumulation order and same-instant completion scheduling order both
+// leak into the simulation, and map iteration would make runs
+// irreproducible.
 func (f *Fabric) resolve() {
 	if len(f.flows) == 0 {
 		return
 	}
-	// Collect links that carry at least one flow.
+	ordered := make([]*Flow, 0, len(f.flows))
+	for fl := range f.flows {
+		ordered = append(ordered, fl)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].id < ordered[j].id })
+	// Collect links that carry at least one flow, in first-use order.
 	type linkState struct {
 		l       *link
 		unfixed int
 		used    float64
 	}
 	states := map[*link]*linkState{}
-	for fl := range f.flows {
+	var linkOrder []*linkState
+	for _, fl := range ordered {
 		fl.rate = -1 // unfixed
 		for _, l := range [2]*link{fl.src, fl.dst} {
 			st := states[l]
 			if st == nil {
 				st = &linkState{l: l}
 				states[l] = st
+				linkOrder = append(linkOrder, st)
 			}
 			st.unfixed++
 		}
@@ -316,7 +350,7 @@ func (f *Fabric) resolve() {
 		// flows is smallest.
 		var bottleneck *linkState
 		share := math.Inf(1)
-		for _, st := range states {
+		for _, st := range linkOrder {
 			if st.unfixed == 0 {
 				continue
 			}
@@ -333,8 +367,8 @@ func (f *Fabric) resolve() {
 			share = 0
 		}
 		// Fix every unfixed flow crossing the bottleneck at the share.
-		for fl := range bottleneck.l.flows {
-			if fl.rate >= 0 {
+		for _, fl := range ordered {
+			if fl.rate >= 0 || (fl.src != bottleneck.l && fl.dst != bottleneck.l) {
 				continue
 			}
 			fl.rate = share
@@ -348,7 +382,7 @@ func (f *Fabric) resolve() {
 	}
 	// Schedule completions.
 	now := f.env.Now()
-	for fl := range f.flows {
+	for _, fl := range ordered {
 		fl.scheduleFinish(now)
 	}
 }

@@ -11,6 +11,11 @@ type Collector struct {
 	containers  *Counter
 	nodeLive    *Gauge
 	nodeMem     *Gauge
+	nodeTasks   *Gauge
+	nodeWarm    *Gauge
+	fnQueue     *Gauge
+	nodeCores   *Gauge
+	linkCap     *Gauge
 	flows       *Counter
 	flowBytes   *Counter
 	activeFlows *Gauge
@@ -42,6 +47,16 @@ func NewCollector(reg *Registry) *Collector {
 			"Live containers per node.", "node"),
 		nodeMem: reg.Gauge("faasflow_node_mem_bytes",
 			"Bytes held by containers per node.", "node"),
+		nodeTasks: reg.Gauge("faasflow_node_running_tasks",
+			"Tasks executing per node.", "node"),
+		nodeWarm: reg.Gauge("faasflow_node_warm_containers",
+			"Idle warm containers per node and function.", "node", "function"),
+		fnQueue: reg.Gauge("faasflow_fn_queue_depth",
+			"Acquisitions waiting on the scale limit per node and function.", "node", "function"),
+		nodeCores: reg.Gauge("faasflow_node_cores",
+			"CPU cores per node.", "node"),
+		linkCap: reg.Gauge("faasflow_link_capacity_bps",
+			"Access link capacity in bytes/sec per node and direction.", "node", "dir"),
 		flows: reg.Counter("faasflow_flows_total",
 			"Bulk transfers completed.", "from", "to"),
 		flowBytes: reg.Counter("faasflow_flow_bytes_total",
@@ -86,6 +101,15 @@ func (c *Collector) Handle(ev Event) {
 		c.containers.Inc(e.Node, e.Op.String())
 		c.nodeLive.Set(float64(e.Containers), e.Node)
 		c.nodeMem.Set(float64(e.MemUsed), e.Node)
+		c.nodeWarm.Set(float64(e.Warm), e.Node, e.Function)
+		c.fnQueue.Set(float64(e.Queued), e.Node, e.Function)
+	case TaskEvent:
+		c.nodeTasks.Set(float64(e.Running), e.Node)
+	case NodeCapacityEvent:
+		c.nodeCores.Set(float64(e.Cores), e.Node)
+	case LinkCapacityEvent:
+		c.linkCap.Set(e.EgressBps, e.Node, "egress")
+		c.linkCap.Set(e.IngressBps, e.Node, "ingress")
 	case FlowEvent:
 		c.activeFlows.Set(float64(e.Active))
 		if e.Done {

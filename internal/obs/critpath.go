@@ -23,6 +23,20 @@ import (
 // partitions [invocation start, invocation end] exactly, so the component
 // sums always reconstruct the total latency.
 
+// PathSegment is one concrete slice of the critical path: a component, its
+// time window, and — when the segment came from an executor phase — the
+// worker it ran on. The bottleneck attributor joins these windows with the
+// utilization timelines.
+type PathSegment struct {
+	Comp   Component
+	Start  sim.Time
+	End    sim.Time
+	Worker string // executor phases only; "" for control-plane segments
+}
+
+// Duration reports the segment's width.
+func (s PathSegment) Duration() time.Duration { return (s.End - s.Start).Duration() }
+
 // Breakdown attributes one invocation's end-to-end latency to components.
 type Breakdown struct {
 	Workflow string
@@ -32,6 +46,9 @@ type Breakdown struct {
 	// ByComponent sums attributed time per component; the values sum to
 	// Total (unattributable gaps are charged to CompQueue).
 	ByComponent map[Component]time.Duration
+	// Segments lists the critical path's concrete time slices, ascending by
+	// start time; their widths sum to Total.
+	Segments []PathSegment
 	// Path lists the critical path's step names, source first.
 	Path []string
 	// Unattributed is the portion of Total that the walk could not match
@@ -64,14 +81,23 @@ type invTrace struct {
 	stepName   map[int]string
 }
 
-func indexInvocation(l *TraceLog, inv int64) *invTrace {
-	t := &invTrace{chains: map[int][]TriggerChainEvent{}, stepName: map[int]string{}}
-	for _, ev := range l.Events() {
+// indexEvents partitions a log snapshot into per-invocation traces in one
+// pass (AnalyzeAll on an N-invocation log would otherwise rescan the whole
+// log N times).
+func indexEvents(events []Event) map[int64]*invTrace {
+	traces := map[int64]*invTrace{}
+	at := func(inv int64) *invTrace {
+		t := traces[inv]
+		if t == nil {
+			t = &invTrace{chains: map[int][]TriggerChainEvent{}, stepName: map[int]string{}}
+			traces[inv] = t
+		}
+		return t
+	}
+	for _, ev := range events {
 		switch e := ev.(type) {
 		case InvocationEvent:
-			if e.Inv != inv {
-				continue
-			}
+			t := at(e.Inv)
 			t.workflow = e.Workflow
 			t.mode = e.Mode
 			if e.End {
@@ -82,32 +108,28 @@ func indexInvocation(l *TraceLog, inv int64) *invTrace {
 				t.start = e.At
 			}
 		case PhaseEvent:
-			if e.Inv != inv {
-				continue
-			}
+			t := at(e.Inv)
 			t.phases = append(t.phases, e)
 			t.stepName[e.Node] = e.Name
 		case StepEvent:
-			if e.Inv != inv {
-				continue
-			}
-			t.stepName[e.Node] = e.Name
+			at(e.Inv).stepName[e.Node] = e.Name
 		case TriggerChainEvent:
-			if e.Inv != inv {
-				continue
-			}
+			t := at(e.Inv)
 			t.chains[e.To] = append(t.chains[e.To], e)
 		}
 	}
-	return t
+	return traces
 }
 
 // AnalyzeInvocation walks one completed invocation's event graph and
 // attributes its latency. It errors when the log holds no completed
 // invocation with that ID.
 func AnalyzeInvocation(l *TraceLog, inv int64) (*Breakdown, error) {
-	t := indexInvocation(l, inv)
-	if !t.hasEnd {
+	return analyzeTrace(indexEvents(l.Events())[inv], inv)
+}
+
+func analyzeTrace(t *invTrace, inv int64) (*Breakdown, error) {
+	if t == nil || !t.hasEnd {
 		return nil, fmt.Errorf("obs: invocation %d has no recorded completion", inv)
 	}
 	b := &Breakdown{
@@ -118,9 +140,10 @@ func AnalyzeInvocation(l *TraceLog, inv int64) (*Breakdown, error) {
 		ByComponent: map[Component]time.Duration{},
 	}
 
-	attr := func(c Component, from, to sim.Time) {
+	attr := func(c Component, from, to sim.Time, worker string) {
 		if to > from {
 			b.ByComponent[c] += (to - from).Duration()
+			b.Segments = append(b.Segments, PathSegment{Comp: c, Start: from, End: to, Worker: worker})
 		}
 	}
 
@@ -191,10 +214,10 @@ func AnalyzeInvocation(l *TraceLog, inv int64) (*Breakdown, error) {
 			break
 		}
 		last := ch.Segments[len(ch.Segments)-1].End
-		attr(CompQueue, last, cursor) // gap tolerance; zero in practice
+		attr(CompQueue, last, cursor, "") // gap tolerance; zero in practice
 		for i := len(ch.Segments) - 1; i >= 0; i-- {
 			s := ch.Segments[i]
-			attr(s.Comp, s.Start, s.End)
+			attr(s.Comp, s.Start, s.End, "")
 		}
 		cursor = ch.Segments[0].Start
 		node = ch.From
@@ -211,7 +234,7 @@ func AnalyzeInvocation(l *TraceLog, inv int64) (*Breakdown, error) {
 			if p == nil {
 				break
 			}
-			attr(p.Comp, p.Start, p.End)
+			attr(p.Comp, p.Start, p.End, p.Worker)
 			cursor = p.Start
 		}
 	}
@@ -220,21 +243,32 @@ func AnalyzeInvocation(l *TraceLog, inv int64) (*Breakdown, error) {
 	if cursor > t.start {
 		b.Unattributed = (cursor - t.start).Duration()
 		b.ByComponent[CompQueue] += b.Unattributed
+		b.Segments = append(b.Segments, PathSegment{Comp: CompQueue, Start: t.start, End: cursor})
 	}
-	// Path was collected sink-to-source; present it source-first.
+	// Path and segments were collected sink-to-source; present them
+	// source-first.
 	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
 		path[i], path[j] = path[j], path[i]
 	}
 	b.Path = path
+	sort.SliceStable(b.Segments, func(i, j int) bool { return b.Segments[i].Start < b.Segments[j].Start })
 	return b, nil
 }
 
-// AnalyzeAll attributes every completed invocation in the log.
+// AnalyzeAll attributes every completed invocation in the log, indexing
+// the log once.
 func AnalyzeAll(l *TraceLog) ([]*Breakdown, error) {
-	invs := l.Invocations()
+	traces := indexEvents(l.Events())
+	invs := make([]int64, 0, len(traces))
+	for inv, t := range traces {
+		if t.hasEnd {
+			invs = append(invs, inv)
+		}
+	}
+	sort.Slice(invs, func(i, j int) bool { return invs[i] < invs[j] })
 	out := make([]*Breakdown, 0, len(invs))
 	for _, inv := range invs {
-		b, err := AnalyzeInvocation(l, inv)
+		b, err := analyzeTrace(traces[inv], inv)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// This file implements run-to-run regression diffing over snapshots: per
+// (workflow, mode) percentile deltas with a noise threshold, suitable for
+// CI gating (`faasflow-trace diff old.json new.json` exits non-zero when a
+// regression is flagged). The simulation is deterministic, so on identical
+// code two runs of the same configuration diff to exactly zero; any delta
+// above noise is a real behavioral change.
+
+// DiffOptions tunes regression detection.
+type DiffOptions struct {
+	// NoiseFrac is the relative change below which a delta is ignored
+	// (default 0.02 = 2%).
+	NoiseFrac float64
+	// NoiseFloorNs is the absolute change below which a delta is ignored
+	// regardless of its relative size (default 1ms).
+	NoiseFloorNs int64
+}
+
+func (o DiffOptions) withDefaults() DiffOptions {
+	if o.NoiseFrac == 0 {
+		o.NoiseFrac = 0.02
+	}
+	if o.NoiseFloorNs == 0 {
+		o.NoiseFloorNs = int64(time.Millisecond)
+	}
+	return o
+}
+
+// MetricDelta is one compared metric of one (workflow, mode) group.
+type MetricDelta struct {
+	Workflow string `json:"workflow"`
+	Mode     string `json:"mode"`
+	// Metric is "p50" | "p95" | "p99" | "mean" (values in nanoseconds) or
+	// "failed" (values are invocation counts).
+	Metric string  `json:"metric"`
+	Old    int64   `json:"old"`
+	New    int64   `json:"new"`
+	Frac   float64 `json:"frac"` // (new-old)/old; 0 when old == 0
+	// Regression: new is worse than old beyond the noise thresholds.
+	// Improvement: new is better beyond the same thresholds.
+	Regression  bool `json:"regression"`
+	Improvement bool `json:"improvement"`
+}
+
+// DiffResult is the full comparison of two snapshots.
+type DiffResult struct {
+	Deltas []MetricDelta `json:"deltas"`
+	// Missing lists (workflow, mode) groups present in only one snapshot —
+	// reported, never gated on.
+	Missing      []string `json:"missing,omitempty"`
+	Regressions  int      `json:"regressions"`
+	Improvements int      `json:"improvements"`
+}
+
+// Diff compares two snapshots group by group.
+func Diff(oldS, newS *Snapshot, opts DiffOptions) *DiffResult {
+	opts = opts.withDefaults()
+	res := &DiffResult{}
+
+	type key struct{ wf, mode string }
+	newBy := map[key]WorkflowStats{}
+	for _, ws := range newS.Workflows {
+		newBy[key{ws.Workflow, ws.Mode}] = ws
+	}
+	oldBy := map[key]bool{}
+
+	compare := func(wf, mode, metric string, oldV, newV int64, latency bool) {
+		d := MetricDelta{Workflow: wf, Mode: mode, Metric: metric, Old: oldV, New: newV}
+		if oldV != 0 {
+			d.Frac = float64(newV-oldV) / float64(oldV)
+		} else if newV != 0 {
+			d.Frac = 1
+		}
+		if latency {
+			diff := newV - oldV
+			if diff > opts.NoiseFloorNs && float64(diff) > opts.NoiseFrac*float64(oldV) {
+				d.Regression = true
+			}
+			if -diff > opts.NoiseFloorNs && float64(-diff) > opts.NoiseFrac*float64(oldV) {
+				d.Improvement = true
+			}
+		} else {
+			// Failure counts gate exactly: any new failure is a regression.
+			d.Regression = newV > oldV
+			d.Improvement = newV < oldV
+		}
+		if d.Regression {
+			res.Regressions++
+		}
+		if d.Improvement {
+			res.Improvements++
+		}
+		res.Deltas = append(res.Deltas, d)
+	}
+
+	for _, o := range oldS.Workflows {
+		k := key{o.Workflow, o.Mode}
+		oldBy[k] = true
+		n, ok := newBy[k]
+		if !ok {
+			res.Missing = append(res.Missing, fmt.Sprintf("%s %s: only in old snapshot", o.Workflow, o.Mode))
+			continue
+		}
+		compare(o.Workflow, o.Mode, "p50", o.P50Ns, n.P50Ns, true)
+		compare(o.Workflow, o.Mode, "p95", o.P95Ns, n.P95Ns, true)
+		compare(o.Workflow, o.Mode, "p99", o.P99Ns, n.P99Ns, true)
+		compare(o.Workflow, o.Mode, "mean", o.MeanNs, n.MeanNs, true)
+		compare(o.Workflow, o.Mode, "failed", int64(o.Failed), int64(n.Failed), false)
+	}
+	for _, n := range newS.Workflows {
+		if !oldBy[key{n.Workflow, n.Mode}] {
+			res.Missing = append(res.Missing, fmt.Sprintf("%s %s: only in new snapshot", n.Workflow, n.Mode))
+		}
+	}
+	return res
+}
+
+// String renders the diff as an aligned table with a verdict line.
+func (r *DiffResult) String() string {
+	var sb strings.Builder
+	for _, d := range r.Deltas {
+		mark := " "
+		switch {
+		case d.Regression:
+			mark = "!"
+		case d.Improvement:
+			mark = "+"
+		}
+		if d.Metric == "failed" {
+			if d.Old == 0 && d.New == 0 {
+				continue // omit the all-zero failure rows from the table
+			}
+			fmt.Fprintf(&sb, "%s %-16s %-9s %-6s %8d -> %-8d\n",
+				mark, d.Workflow, d.Mode, d.Metric, d.Old, d.New)
+			continue
+		}
+		fmt.Fprintf(&sb, "%s %-16s %-9s %-6s %12v -> %-12v %+6.1f%%\n",
+			mark, d.Workflow, d.Mode, d.Metric,
+			time.Duration(d.Old), time.Duration(d.New), 100*d.Frac)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(&sb, "? %s\n", m)
+	}
+	fmt.Fprintf(&sb, "%d regression(s), %d improvement(s)\n", r.Regressions, r.Improvements)
+	return sb.String()
+}

@@ -1,11 +1,20 @@
 package obs
 
-import "sort"
+import (
+	"sort"
+	"sync"
+)
 
 // TraceLog is a bus subscriber that retains every event in arrival order,
 // for trace export and critical-path analysis. Memory is proportional to
 // run length; Reset between experiment phases when that matters.
+//
+// TraceLog is safe for concurrent use: the gateway reads the log from HTTP
+// handlers (trace export, utilization, bottleneck reports) while a run may
+// still be appending. The simulation itself is single-threaded, so the
+// lock is uncontended on the publish path.
 type TraceLog struct {
+	mu     sync.Mutex
 	events []Event
 }
 
@@ -13,24 +22,42 @@ type TraceLog struct {
 func NewTraceLog() *TraceLog { return &TraceLog{} }
 
 // Record appends one event; it is the Subscribe handler.
-func (l *TraceLog) Record(ev Event) { l.events = append(l.events, ev) }
+func (l *TraceLog) Record(ev Event) {
+	l.mu.Lock()
+	l.events = append(l.events, ev)
+	l.mu.Unlock()
+}
 
 // Len reports the number of retained events.
-func (l *TraceLog) Len() int { return len(l.events) }
+func (l *TraceLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.events)
+}
 
 // Reset discards retained events.
-func (l *TraceLog) Reset() { l.events = l.events[:0] }
+func (l *TraceLog) Reset() {
+	l.mu.Lock()
+	l.events = l.events[:0]
+	l.mu.Unlock()
+}
 
-// Events returns the retained events in arrival order (shared slice; do
-// not mutate).
-func (l *TraceLog) Events() []Event { return l.events }
+// Events returns a copy of the retained events in arrival order, safe to
+// iterate while the log keeps growing.
+func (l *TraceLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, len(l.events))
+	copy(out, l.events)
+	return out
+}
 
 // Invocations lists the distinct invocation IDs with a recorded end event,
 // ascending — the invocations the analyzer can attribute.
 func (l *TraceLog) Invocations() []int64 {
 	seen := map[int64]bool{}
 	var out []int64
-	for _, ev := range l.events {
+	for _, ev := range l.Events() {
 		if ie, ok := ev.(InvocationEvent); ok && ie.End && !seen[ie.Inv] {
 			seen[ie.Inv] = true
 			out = append(out, ie.Inv)
@@ -46,7 +73,7 @@ func (l *TraceLog) Invocations() []int64 {
 // carry no workflow identity and are dropped.
 func (l *TraceLog) ForWorkflow(name string) *TraceLog {
 	out := NewTraceLog()
-	for _, ev := range l.events {
+	for _, ev := range l.Events() {
 		var wf string
 		switch e := ev.(type) {
 		case StepEvent:
@@ -73,7 +100,7 @@ func (l *TraceLog) ForWorkflow(name string) *TraceLog {
 func (l *TraceLog) Workflows() []string {
 	seen := map[string]bool{}
 	var out []string
-	for _, ev := range l.events {
+	for _, ev := range l.Events() {
 		if ie, ok := ev.(InvocationEvent); ok && !seen[ie.Workflow] {
 			seen[ie.Workflow] = true
 			out = append(out, ie.Workflow)

@@ -65,6 +65,22 @@ func (c Component) String() string {
 	}
 }
 
+// MarshalText serializes the component by name, so JSON artifacts
+// (snapshots, gateway responses) read "exec" rather than an opaque index.
+func (c Component) MarshalText() ([]byte, error) { return []byte(c.String()), nil }
+
+// UnmarshalText parses a component name written by MarshalText.
+func (c *Component) UnmarshalText(text []byte) error {
+	name := string(text)
+	for _, cand := range Components() {
+		if cand.String() == name {
+			*c = cand
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown component %q", name)
+}
+
 // Components lists every attribution bucket in display order.
 func Components() []Component {
 	out := make([]Component, 0, numComponents)
@@ -213,6 +229,9 @@ const (
 	ContainerEvicted
 	// ContainerDestroyed is an explicit destroy (crash or red-black drain).
 	ContainerDestroyed
+	// ContainerReleased is a container going idle-warm after an invocation
+	// (no waiter took it over).
+	ContainerReleased
 )
 
 func (o ContainerOp) String() string {
@@ -227,24 +246,57 @@ func (o ContainerOp) String() string {
 		return "evicted"
 	case ContainerDestroyed:
 		return "destroyed"
+	case ContainerReleased:
+		return "released"
 	default:
 		return fmt.Sprintf("ContainerOp(%d)", int(o))
 	}
 }
 
 // ContainerEvent is a container lifecycle transition on one node, with the
-// node's occupancy at that instant (for counter tracks).
+// node's occupancy at that instant (for counter tracks) and the function
+// pool's warm/queued depth (for the utilization analyzer).
 type ContainerEvent struct {
 	Node       string
 	Function   string
 	Op         ContainerOp
 	Containers int   // live containers after the op
 	MemUsed    int64 // bytes held by containers after the op
+	Warm       int   // idle warm containers for Function after the op
+	Queued     int   // acquisitions waiting for Function after the op
 	At         sim.Time
 }
 
 func (e ContainerEvent) Kind() string   { return "container" }
 func (e ContainerEvent) When() sim.Time { return e.At }
+
+// NodeCapacityEvent describes one worker node's hardware. It is published
+// when a bus is attached to the node, so any log holding node activity also
+// holds the capacities needed to normalize it.
+type NodeCapacityEvent struct {
+	Node         string
+	Cores        int
+	MemBytes     int64 // DRAM
+	ContainerMem int64 // per-container memory reservation
+	At           sim.Time
+}
+
+func (e NodeCapacityEvent) Kind() string   { return "node-capacity" }
+func (e NodeCapacityEvent) When() sim.Time { return e.At }
+
+// TaskEvent is a CPU slot transition: an Exec starting or finishing on a
+// node, with the number of running tasks after the transition. Together
+// with NodeCapacityEvent.Cores it yields the node's core-occupancy
+// timeline (busy cores = min(running, cores) under processor sharing).
+type TaskEvent struct {
+	Node    string
+	Running int // tasks in flight after this transition
+	Start   bool
+	At      sim.Time
+}
+
+func (e TaskEvent) Kind() string   { return "task" }
+func (e TaskEvent) When() sim.Time { return e.At }
 
 // ---------------------------------------------------------------------------
 // Network events.
@@ -265,6 +317,20 @@ type FlowEvent struct {
 
 func (e FlowEvent) Kind() string   { return "flow" }
 func (e FlowEvent) When() sim.Time { return e.At }
+
+// LinkCapacityEvent describes one node's access-link capacities. The
+// fabric publishes it for every node when a bus is attached and again
+// whenever a capacity changes mid-run (the wondershaper throttling), so
+// achieved flow rates can always be normalized against capacity.
+type LinkCapacityEvent struct {
+	Node       string
+	EgressBps  float64
+	IngressBps float64
+	At         sim.Time
+}
+
+func (e LinkCapacityEvent) Kind() string   { return "link-capacity" }
+func (e LinkCapacityEvent) When() sim.Time { return e.At }
 
 // MsgEvent is one small control message crossing the fabric.
 type MsgEvent struct {

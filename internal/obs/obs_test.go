@@ -233,6 +233,9 @@ func TestEventWhen(t *testing.T) {
 		{TriggerChainEvent{Segments: []Segment{{End: 4}}}, 4},
 		{TriggerChainEvent{}, 0},
 		{ContainerEvent{At: 5}, 5},
+		{NodeCapacityEvent{At: 11}, 11},
+		{TaskEvent{At: 12}, 12},
+		{LinkCapacityEvent{At: 13}, 13},
 		{FlowEvent{At: 6}, 6},
 		{MsgEvent{At: 7}, 7},
 		{StoreEvent{Start: 7, End: 8}, 8},

@@ -208,6 +208,24 @@ func (h *Histogram) Count(labelValues ...string) uint64 {
 	return h.f.at(labelValues).count
 }
 
+// ZeroGauges resets every gauge series to zero while keeping the series
+// (and their label sets) registered. Observer.Reset uses it so a reused
+// registry does not keep reporting stale per-node occupancy after the
+// event log is discarded; counters and histograms are cumulative by
+// contract and are left alone.
+func (r *Registry) ZeroGauges() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, f := range r.families {
+		if f.typ != typeGauge {
+			continue
+		}
+		for _, s := range f.series {
+			s.value = 0
+		}
+	}
+}
+
 // WritePrometheus renders every family in the text exposition format
 // (version 0.0.4), deterministically ordered: families in registration
 // order, series sorted by label values.
