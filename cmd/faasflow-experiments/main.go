@@ -65,14 +65,19 @@ func emit(name string, t *metrics.Table) {
 
 func main() {
 	var (
-		run  = flag.String("run", "all", "comma-separated experiment list or 'all'")
-		n    = flag.Int("n", 1000, "invocations per measurement")
-		snap = flag.String("snapshot", "", "also write a flight-recorder snapshot (Gen+Vid on FaaSFlow-FaaStore) to this file")
+		run   = flag.String("run", "all", "comma-separated experiment list or 'all'")
+		n     = flag.Int("n", 1000, "invocations per measurement")
+		snap  = flag.String("snapshot", "", "also write a flight-recorder snapshot (Gen+Vid on FaaSFlow-FaaStore) to this file")
+		chaos = flag.Bool("chaos", false, "run only the chaos availability scenario (shorthand for -run chaos)")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's table as CSV into this directory")
 	flag.StringVar(&svgDir, "svg", "", "also write each experiment's figure as SVG into this directory")
+	flag.StringVar(&chaosSnapDir, "chaos-snapshots", "", "write each chaos mode's flight-recorder snapshot into this directory")
 	flag.Parse()
-	for _, dir := range []string{csvDir, svgDir} {
+	if *chaos {
+		*run = "chaos"
+	}
+	for _, dir := range []string{csvDir, svgDir, chaosSnapDir} {
 		if dir == "" {
 			continue
 		}
@@ -121,7 +126,7 @@ func main() {
 		fmt.Printf("snapshot: wrote %s (%d events)\n", *snap, len(s.Events))
 	}
 	if ran == 0 && *snap == "" {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos\n", *run)
 		os.Exit(1)
 	}
 }
@@ -142,6 +147,41 @@ var experiments = []struct {
 	{"sec57", "workflow engine component overhead", runSec57},
 	{"coldstart", "keep-alive vs cold-start trade-off (extension)", runColdStart},
 	{"claims", "the paper's derived headline claims", runClaims},
+	{"chaos", "chaos availability: kill a worker mid-run, require zero lost invocations", runChaos},
+}
+
+// chaosSnapDir, when set, receives each chaos mode's flight-recorder
+// snapshot as chaos-<mode>.json — byte-identical across same-seed runs,
+// which is what the CI chaos smoke job diffs.
+var chaosSnapDir string
+
+func runChaos(n int) error {
+	inv := n
+	if inv > 40 {
+		inv = 40 // chaos needs in-flight overlap, not volume
+	}
+	rows, err := harness.Chaos(harness.ChaosSpec{Invocations: inv}, nil)
+	if err != nil {
+		return err
+	}
+	emit("chaos", harness.RenderChaos(rows))
+	for _, r := range rows {
+		if r.Lost > 0 {
+			return fmt.Errorf("chaos: %s lost %d of %d invocations", r.Mode, r.Lost, r.Invocations)
+		}
+		if chaosSnapDir == "" {
+			continue
+		}
+		data, err := r.Snapshot.Marshal()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(chaosSnapDir, "chaos-"+r.Mode.String()+".json")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func runFig4(n int) error {

@@ -13,6 +13,7 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/obs"
@@ -68,8 +69,14 @@ type Container struct {
 	id   int
 
 	idle   bool
+	dead   bool // node failed while the container was alive
 	expiry *sim.Event
 }
+
+// Dead reports whether the container was lost to a node failure. Release
+// and Destroy on a dead container are no-ops: the slot and memory were
+// already reclaimed when the node went down.
+func (c *Container) Dead() bool { return c.dead }
 
 // Node is one worker machine.
 type Node struct {
@@ -81,6 +88,8 @@ type Node struct {
 	containers int   // total live containers
 	memUsed    int64 // bytes held by live containers
 	reclaimed  int64 // bytes handed to FaaStore (excluded from container use)
+	live       map[*Container]struct{}
+	failed     bool
 
 	// Processor-sharing CPU state.
 	running map[*cpuTask]struct{}
@@ -146,6 +155,7 @@ type NodeStats struct {
 	WarmReuses     int64
 	Evictions      int64
 	QueuedWaits    int64
+	Failures       int64         // Fail() calls (node crashes)
 	CPUBusy        time.Duration // integrated core-busy time
 	PeakMem        int64
 	PeakConcurrent int
@@ -178,6 +188,7 @@ func NewNode(env *sim.Env, id string, cfg Config) *Node {
 		env:     env,
 		cfg:     cfg,
 		pools:   map[string]*fnPool{},
+		live:    map[*Container]struct{}{},
 		running: map[*cpuTask]struct{}{},
 	}
 }
@@ -241,6 +252,10 @@ func (n *Node) Reclaim(bytes int64) error {
 			n.id, -bytes, n.reclaimed)
 	}
 	n.reclaimed += bytes
+	if bytes < 0 {
+		// Returned memory may unblock pools queued on node DRAM.
+		n.pumpAll()
+	}
 	return nil
 }
 
@@ -251,52 +266,100 @@ func (n *Node) Reclaimed() int64 { return n.reclaimed }
 // whether the acquisition was a cold start. Warm reuse completes on the
 // next event tick; cold start pays Config.ColdStart; when the function is
 // at its scale limit or the node is out of memory, the request queues until
-// a container frees up.
+// a container frees up. Requests are served strictly in arrival order: a
+// new request never jumps ahead of queued waiters.
+//
+// If the node fails (Fail) before the request is served — or has already
+// failed — ready is called with a nil container; callers must treat that as
+// an aborted acquisition and recover elsewhere.
 func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 	if ready == nil {
 		panic("cluster: Acquire with nil callback")
+	}
+	if n.failed {
+		n.env.Schedule(0, func() { ready(nil, false) })
+		return
 	}
 	p := n.pools[fn]
 	if p == nil {
 		p = &fnPool{}
 		n.pools[fn] = p
 	}
-	// Warm container available: reuse it.
-	if len(p.warm) > 0 {
-		c := p.warm[len(p.warm)-1]
-		p.warm = p.warm[:len(p.warm)-1]
-		c.idle = false
-		if c.expiry != nil {
-			c.expiry.Cancel()
-			c.expiry = nil
-		}
-		n.stats.WarmReuses++
-		n.pubContainer(fn, obs.ContainerWarmReuse)
-		n.env.Schedule(0, func() { ready(c, false) })
-		return
-	}
-	// Room to create a new container?
-	if p.total < n.cfg.PerFnLimit && n.memUsed+n.cfg.ContainerMem+n.reclaimed <= n.cfg.DRAM {
-		p.total++
-		if p.total > p.peak {
-			p.peak = p.total
-		}
-		n.containers++
-		n.memUsed += n.cfg.ContainerMem
-		if n.memUsed > n.stats.PeakMem {
-			n.stats.PeakMem = n.memUsed
-		}
-		n.stats.ColdStarts++
-		n.pubContainer(fn, obs.ContainerColdStart)
-		c := &Container{Fn: fn, Node: n, id: p.nextID}
-		p.nextID++
-		n.env.Schedule(n.cfg.ColdStart, func() { ready(c, true) })
-		return
-	}
-	// Saturated: wait for a release.
-	n.stats.QueuedWaits++
 	p.waiting = append(p.waiting, ready)
-	n.pubContainer(fn, obs.ContainerQueued)
+	n.pump(fn, p)
+	// pump serves FIFO from the front, so if anything is still queued our
+	// request (appended last) is among it.
+	if len(p.waiting) > 0 {
+		n.stats.QueuedWaits++
+		n.pubContainer(fn, obs.ContainerQueued)
+	}
+}
+
+// pump serves fn's waiting queue front-first while resources allow: warm
+// reuse, then cold start under the scale limit and free node memory. It is
+// the single wakeup path shared by Acquire, Destroy, evict, Reclaim, and
+// Recover, so any freed slot or memory re-examines the queue.
+func (n *Node) pump(fn string, p *fnPool) {
+	for len(p.waiting) > 0 {
+		// Warm container available: reuse it (LIFO, so the oldest idle
+		// containers keep aging toward eviction).
+		if len(p.warm) > 0 {
+			c := p.warm[len(p.warm)-1]
+			p.warm = p.warm[:len(p.warm)-1]
+			c.idle = false
+			if c.expiry != nil {
+				c.expiry.Cancel()
+				c.expiry = nil
+			}
+			ready := p.waiting[0]
+			p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+			n.stats.WarmReuses++
+			n.pubContainer(fn, obs.ContainerWarmReuse)
+			n.env.Schedule(0, func() { ready(c, false) })
+			continue
+		}
+		// Room to create a new container?
+		if p.total < n.cfg.PerFnLimit && n.memUsed+n.cfg.ContainerMem+n.reclaimed <= n.cfg.DRAM {
+			ready := p.waiting[0]
+			p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+			p.total++
+			if p.total > p.peak {
+				p.peak = p.total
+			}
+			n.containers++
+			n.memUsed += n.cfg.ContainerMem
+			if n.memUsed > n.stats.PeakMem {
+				n.stats.PeakMem = n.memUsed
+			}
+			n.stats.ColdStarts++
+			n.pubContainer(fn, obs.ContainerColdStart)
+			c := &Container{Fn: fn, Node: n, id: p.nextID}
+			p.nextID++
+			n.live[c] = struct{}{}
+			n.env.Schedule(n.cfg.ColdStart, func() { ready(c, true) })
+			continue
+		}
+		return // saturated: wait for a release, destroy, or reclaim return
+	}
+}
+
+// pumpAll re-examines every pool's waiting queue (in sorted function order,
+// for determinism). Freed node memory can unblock pools other than the one
+// whose container went away, so slot- or memory-freeing paths call this.
+func (n *Node) pumpAll() {
+	if n.failed {
+		return
+	}
+	fns := make([]string, 0, len(n.pools))
+	for fn, p := range n.pools {
+		if len(p.waiting) > 0 {
+			fns = append(fns, fn)
+		}
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		n.pump(fn, n.pools[fn])
+	}
 }
 
 // Prewarm creates up to count warm containers for fn ahead of traffic (the
@@ -305,6 +368,9 @@ func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 // containers pay the cold start now, sit warm, and age out after the
 // keep-alive window like any other.
 func (n *Node) Prewarm(fn string, count int) int {
+	if n.failed {
+		return 0
+	}
 	created := 0
 	for i := 0; i < count; i++ {
 		p := n.pools[fn]
@@ -316,7 +382,11 @@ func (n *Node) Prewarm(fn string, count int) int {
 			break
 		}
 		created++
-		n.Acquire(fn, func(c *Container, cold bool) { n.Release(c) })
+		n.Acquire(fn, func(c *Container, cold bool) {
+			if c != nil {
+				n.Release(c)
+			}
+		})
 	}
 	return created
 }
@@ -327,6 +397,9 @@ func (n *Node) Prewarm(fn string, count int) int {
 func (n *Node) Release(c *Container) {
 	if c.Node != n {
 		panic(fmt.Sprintf("cluster: releasing container of node %s on node %s", c.Node.id, n.id))
+	}
+	if c.dead {
+		return // lost to a node failure; slot and memory already reclaimed
 	}
 	p := n.pools[c.Fn]
 	if len(p.waiting) > 0 {
@@ -343,9 +416,14 @@ func (n *Node) Release(c *Container) {
 	n.pubContainer(c.Fn, obs.ContainerReleased)
 }
 
-// Destroy removes a container immediately (red-black recycling of
-// out-of-date sub-graph versions).
+// Destroy removes a container immediately (crashed sandboxes, red-black
+// recycling of out-of-date sub-graph versions). The freed slot and memory
+// wake queued Acquire waiters — for this function and for any pool queued
+// on node memory.
 func (n *Node) Destroy(c *Container) {
+	if c.dead {
+		return // lost to a node failure; already accounted
+	}
 	if c.expiry != nil {
 		c.expiry.Cancel()
 		c.expiry = nil
@@ -361,6 +439,7 @@ func (n *Node) Destroy(c *Container) {
 	}
 	n.freeContainer(c)
 	n.pubContainer(c.Fn, obs.ContainerDestroyed)
+	n.pumpAll()
 }
 
 func (n *Node) evict(c *Container) {
@@ -377,6 +456,7 @@ func (n *Node) evict(c *Container) {
 	n.stats.Evictions++
 	n.freeContainer(c)
 	n.pubContainer(c.Fn, obs.ContainerEvicted)
+	n.pumpAll()
 }
 
 func (n *Node) freeContainer(c *Container) {
@@ -384,14 +464,92 @@ func (n *Node) freeContainer(c *Container) {
 	p.total--
 	n.containers--
 	n.memUsed -= n.cfg.ContainerMem
+	c.dead = true
+	delete(n.live, c)
 }
+
+// Fail models the node crashing: every container (warm or busy) is
+// destroyed, in-flight Exec work is killed (the done callbacks never fire),
+// and queued Acquire waiters are aborted with a nil container. The node
+// rejects new work until Recover is called; warm pools restart cold.
+func (n *Node) Fail() {
+	if n.failed {
+		return
+	}
+	n.failed = true
+	n.stats.Failures++
+	// Kill in-flight compute. Settle first so CPUBusy integrates the work
+	// actually done before the crash; the tasks' done callbacks are dropped.
+	n.settleCPU()
+	for t := range n.running {
+		if t.finish != nil {
+			t.finish.Cancel()
+			t.finish = nil
+		}
+	}
+	hadTasks := len(n.running) > 0
+	n.running = map[*cpuTask]struct{}{}
+	// Mark every container dead so late Release/Destroy calls from engines
+	// holding them become no-ops. Flag-setting only: order-independent.
+	for c := range n.live {
+		c.dead = true
+		if c.expiry != nil {
+			c.expiry.Cancel()
+			c.expiry = nil
+		}
+	}
+	n.live = map[*Container]struct{}{}
+	fns := make([]string, 0, len(n.pools))
+	for fn := range n.pools {
+		fns = append(fns, fn)
+	}
+	sort.Strings(fns)
+	for _, fn := range fns {
+		p := n.pools[fn]
+		lost := p.total
+		p.warm = nil
+		p.total = 0
+		waiters := p.waiting
+		p.waiting = nil
+		n.containers -= lost
+		n.memUsed -= int64(lost) * n.cfg.ContainerMem
+		if lost > 0 {
+			n.pubContainer(fn, obs.ContainerDestroyed)
+		}
+		for _, ready := range waiters {
+			ready := ready
+			n.env.Schedule(0, func() { ready(nil, false) })
+		}
+	}
+	if hadTasks {
+		n.pubTask(false)
+	}
+}
+
+// Recover brings a failed node back. Pools come back empty (everything
+// cold-starts again); callers model the recovery delay by scheduling the
+// call at the recovery instant.
+func (n *Node) Recover() {
+	if !n.failed {
+		return
+	}
+	n.failed = false
+}
+
+// Failed reports whether the node is currently down.
+func (n *Node) Failed() bool { return n.failed }
 
 // Exec runs cpuSeconds of compute under processor sharing and calls done
 // when finished. With k tasks on c cores each task advances at min(1, c/k)
-// core-rate, so contention stretches everyone.
+// core-rate, so contention stretches everyone. On a failed node the work is
+// silently dropped — done never fires — mirroring a machine that died with
+// the task on it; callers recover via timeouts.
 func (n *Node) Exec(cpuSeconds float64, done func()) {
 	if cpuSeconds < 0 {
 		panic("cluster: negative execution time")
+	}
+	if n.failed {
+		return
 	}
 	if done == nil {
 		done = func() {}

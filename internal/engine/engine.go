@@ -20,6 +20,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/cluster"
@@ -88,10 +89,28 @@ type Options struct {
 	// containers are destroyed and the attempt retried up to MaxAttempts.
 	FailureRate float64
 	// MaxAttempts bounds executor attempts when FailureRate > 0
-	// (default 3). An executor that exhausts its attempts marks the
-	// invocation failed; the failure propagates like a skip so the
-	// workflow drains instead of hanging.
+	// (default 3, capped at 256). An executor that exhausts its attempts
+	// marks the invocation failed; the failure propagates like a skip so
+	// the workflow drains instead of hanging.
 	MaxAttempts int
+	// TaskTimeout bounds one executor attempt (container acquire through
+	// output store). When > 0, an attempt that has not completed within
+	// the window is abandoned and re-issued — the recovery path for tasks
+	// stranded on a node that died mid-flight. It must exceed the longest
+	// healthy task's end-to-end time or healthy work gets re-issued.
+	TaskTimeout time.Duration
+	// BackoffBase is the first retry/re-issue backoff delay; it doubles
+	// with each subsequent failure of the same executor, capped at
+	// BackoffMax. Zero (the default) disables backoff, preserving the
+	// immediate-retry behaviour of plain crash injection.
+	BackoffBase time.Duration
+	// BackoffMax caps exponential backoff (default 30s when BackoffBase is
+	// set).
+	BackoffMax time.Duration
+	// MaxReissues bounds fault-driven re-issues (timeouts, node deaths)
+	// per executor, separately from the crash-attempt budget (default 8).
+	// An executor that exhausts its re-issues marks the invocation failed.
+	MaxReissues int
 }
 
 func (o Options) withDefaults() Options {
@@ -110,8 +129,17 @@ func (o Options) withDefaults() Options {
 	if o.FailureRate > 0 && o.MaxAttempts == 0 {
 		o.MaxAttempts = 3
 	}
-	if o.MaxAttempts == 0 {
+	if o.MaxAttempts <= 0 {
 		o.MaxAttempts = 1
+	}
+	if o.MaxAttempts > 256 {
+		o.MaxAttempts = 256
+	}
+	if o.MaxReissues <= 0 {
+		o.MaxReissues = 8
+	}
+	if o.BackoffBase > 0 && o.BackoffMax == 0 {
+		o.BackoffMax = 30 * time.Second
 	}
 	return o
 }
@@ -210,11 +238,16 @@ type Deployment struct {
 	// conds maps edge index -> compiled switch condition; nodes with any
 	// conditional out-edge are runtime switches. A stamped-but-empty
 	// condition (not in this map) is the default branch.
-	conds      map[int]*expr.Expr
-	switchNode map[dag.NodeID]bool
-	condErrors int64
-	crashCount int64
-	retryCount int64
+	conds        map[int]*expr.Expr
+	switchNode   map[dag.NodeID]bool
+	condErrors   int64
+	crashCount   int64
+	retryCount   int64
+	timeoutCount int64
+	reissueCount int64
+	replaceCount int64
+	failedInv    int64
+	nodeOrder    []string // sorted runtime node IDs, for deterministic re-placement
 
 	master  *proc
 	workers map[string]*proc
@@ -262,7 +295,9 @@ func NewDeployment(rt *Runtime, bench *workloads.Benchmark, place map[dag.NodeID
 	}
 	for w := range rt.Nodes {
 		d.workers[w] = &proc{env: rt.Env, cost: d.opts.WorkerProc}
+		d.nodeOrder = append(d.nodeOrder, w)
 	}
+	sort.Strings(d.nodeOrder)
 	d.conds = map[int]*expr.Expr{}
 	d.switchNode = map[dag.NodeID]bool{}
 	for i, e := range g.Edges() {
@@ -406,9 +441,13 @@ func (r Result) Latency() time.Duration { return (r.End - r.Start).Duration() }
 
 // invocation tracks one in-flight workflow run.
 type invocation struct {
-	id        int64
-	version   int
+	id      int64
+	version int
+	// place aliases the deployment's placement until a fault forces
+	// re-placement, at which point it is cloned (ownPlace) so the
+	// deployment map stays untouched.
 	place     map[dag.NodeID]string
+	ownPlace  bool
 	start     sim.Time
 	args      expr.Env
 	failed    bool
@@ -534,6 +573,9 @@ func (d *Deployment) finishInvocation(inv *invocation) {
 	for _, k := range inv.keys {
 		d.rt.Store.Delete(k)
 	}
+	if inv.failed {
+		d.failedInv++
+	}
 	d.pubInvocation(inv, true)
 	inv.done(Result{ID: inv.id, Start: inv.start, End: d.rt.Env.Now(), Version: inv.version, Failed: inv.failed})
 }
@@ -559,7 +601,8 @@ func (d *Deployment) runTask(inv *invocation, id dag.NodeID, onDone func(failed 
 	pending := width
 	anyFailed := false
 	for replica := 0; replica < width; replica++ {
-		d.runExecutor(inv, id, replica, 1, func(failed bool) {
+		st := &execState{}
+		d.startAttempt(inv, id, replica, 1, 0, st, func(failed bool) {
 			if failed {
 				anyFailed = true
 			}
@@ -571,57 +614,16 @@ func (d *Deployment) runTask(inv *invocation, id dag.NodeID, onDone func(failed 
 	}
 }
 
-func (d *Deployment) runExecutor(inv *invocation, id dag.NodeID, replica, attempt int, onDone func(failed bool)) {
-	node := d.g.Node(id)
-	workerID := inv.place[id]
-	w := d.rt.Nodes[workerID]
-	spec := d.bench.Functions[node.Function]
-	exec := spec.ExecSeconds
-	if !d.opts.NoJitter {
-		exec *= execJitter(inv.id, id+dag.NodeID(replica)<<16)
-	}
-	acquireStart := d.rt.Env.Now()
-	w.Acquire(node.Function, func(c *cluster.Container, cold bool) {
-		d.span(inv, id, replica, "acquire", acquireStart)
-		fetchStart := d.rt.Env.Now()
-		d.fetchInputs(inv, id, workerID, func() {
-			d.span(inv, id, replica, "fetch", fetchStart)
-			execStart := d.rt.Env.Now()
-			w.Exec(exec, func() {
-				d.span(inv, id, replica, "exec", execStart)
-				if d.crashes(inv, id, replica, attempt) {
-					// The container dies mid-flight: destroy it (no warm
-					// reuse of crashed sandboxes) and retry or give up.
-					w.Destroy(c)
-					d.crashCount++
-					if attempt < d.opts.MaxAttempts {
-						d.retryCount++
-						d.pubStep(inv, id, obs.StepRetried)
-						d.runExecutor(inv, id, replica, attempt+1, onDone)
-						return
-					}
-					inv.failed = true
-					d.pubStep(inv, id, obs.StepFailed)
-					onDone(true) // drains like a skip: no outputs written
-					return
-				}
-				storeStart := d.rt.Env.Now()
-				d.storeOutputs(inv, id, replica, workerID, func() {
-					d.span(inv, id, replica, "store", storeStart)
-					w.Release(c)
-					onDone(false)
-				})
-			})
-		})
-	})
-}
-
-// crashes decides deterministically whether this attempt fails.
+// crashes decides deterministically whether this attempt fails. The seed
+// mixes the full (invocation, node, replica, attempt) tuple through
+// splitmix rounds so nearby tuples — high attempt counts, wide foreach
+// fan-outs — never collide or correlate.
 func (d *Deployment) crashes(inv *invocation, id dag.NodeID, replica, attempt int) bool {
 	if d.opts.FailureRate <= 0 {
 		return false
 	}
-	r := sim.NewRand(uint64(inv.id)<<32 ^ uint64(id)<<16 ^ uint64(replica)<<8 ^ uint64(attempt) ^ 0xdeadbeef)
+	seed := sim.Mix(uint64(inv.id), uint64(id), uint64(replica), uint64(attempt), 0xdeadbeef)
+	r := sim.NewRand(seed)
 	return r.Float64() < d.opts.FailureRate
 }
 
@@ -630,6 +632,28 @@ func (d *Deployment) Crashes() int64 { return d.crashCount }
 
 // Retries reports executor retry attempts so far.
 func (d *Deployment) Retries() int64 { return d.retryCount }
+
+// FailureStats aggregates the deployment's failure and recovery counters.
+type FailureStats struct {
+	Crashes           int64 // injected container crashes
+	Retries           int64 // crash-budget retries
+	Timeouts          int64 // executor attempts abandoned by the task timeout
+	Reissues          int64 // fault-driven re-issues (timeouts + node deaths)
+	Replacements      int64 // tasks re-placed off dead nodes
+	FailedInvocations int64 // invocations that completed with Failed set
+}
+
+// FailureStatsSnapshot reports current failure/recovery counters.
+func (d *Deployment) FailureStatsSnapshot() FailureStats {
+	return FailureStats{
+		Crashes:           d.crashCount,
+		Retries:           d.retryCount,
+		Timeouts:          d.timeoutCount,
+		Reissues:          d.reissueCount,
+		Replacements:      d.replaceCount,
+		FailedInvocations: d.failedInv,
+	}
+}
 
 // fetchInputs downloads the task's input keys one after another: a single
 // container's runtime fetches its inputs sequentially, which is what keeps

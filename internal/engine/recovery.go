@@ -1,0 +1,344 @@
+package engine
+
+import (
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/dag"
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file implements the engine's fault-recovery layer: per-attempt task
+// timeouts, exponential backoff, and re-issue of executors stranded on dead
+// nodes — including re-placing their tasks onto surviving workers. The
+// recovery dispatch is mode-specific, mirroring where the trigger state
+// lives: MasterSP re-issues from the master engine (which owns every task
+// assignment), WorkerSP re-issues from the stranded task's predecessor
+// worker (the engine that originally triggered it), falling back to the
+// master when every predecessor's worker is dead too.
+
+// execState tracks one executor slot — (invocation, node, replica) — across
+// crash retries and fault re-issues. seq invalidates stale attempts: every
+// phase callback of an attempt re-checks that it is still the newest one,
+// so an attempt abandoned by a timeout can never complete the step twice.
+type execState struct {
+	seq      int
+	finished bool
+}
+
+// startAttempt runs one executor attempt: container acquire → input fetch →
+// execute → (crash?) → output store → release, guarded by the task timeout.
+// attempt is the 1-based crash-budget counter; reissue counts fault-driven
+// re-issues (its budget is separate — a long-lived executor surviving a
+// node death should not burn its crash retries).
+func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attempt, reissue int, st *execState, onDone func(failed bool)) {
+	node := d.g.Node(id)
+	workerID := inv.place[id]
+	w := d.rt.Nodes[workerID]
+	st.seq++
+	mySeq := st.seq
+	attemptStart := d.rt.Env.Now()
+
+	if w.Failed() {
+		// The target died between the trigger and this attempt; recover
+		// immediately rather than waiting out the timeout.
+		d.recoverExecutor(inv, id, replica, attempt, reissue, st, attemptStart, "node-down", onDone)
+		return
+	}
+
+	stale := func() bool { return st.seq != mySeq || st.finished }
+
+	var timeout *sim.Event
+	if d.opts.TaskTimeout > 0 {
+		timeout = d.rt.Env.Schedule(d.opts.TaskTimeout, func() {
+			if stale() {
+				return
+			}
+			d.timeoutCount++
+			d.pubStep(inv, id, obs.StepTimedOut)
+			d.recoverExecutor(inv, id, replica, attempt, reissue, st, attemptStart, "timeout", onDone)
+		})
+	}
+	cancelTimeout := func() {
+		if timeout != nil {
+			timeout.Cancel()
+			timeout = nil
+		}
+	}
+
+	spec := d.bench.Functions[node.Function]
+	exec := spec.ExecSeconds
+	if !d.opts.NoJitter {
+		exec *= execJitter(inv.id, id+dag.NodeID(replica)<<16)
+	}
+
+	acquireStart := d.rt.Env.Now()
+	w.Acquire(node.Function, func(c *cluster.Container, cold bool) {
+		if stale() {
+			if c != nil {
+				w.Release(c)
+			}
+			return
+		}
+		if c == nil {
+			// The node failed while this request sat in the acquire queue.
+			cancelTimeout()
+			d.recoverExecutor(inv, id, replica, attempt, reissue, st, attemptStart, "node-down", onDone)
+			return
+		}
+		d.span(inv, id, replica, "acquire", acquireStart)
+		fetchStart := d.rt.Env.Now()
+		d.fetchInputs(inv, id, workerID, func() {
+			if stale() {
+				w.Release(c)
+				return
+			}
+			d.span(inv, id, replica, "fetch", fetchStart)
+			execStart := d.rt.Env.Now()
+			w.Exec(exec, func() {
+				if stale() {
+					w.Release(c)
+					return
+				}
+				d.span(inv, id, replica, "exec", execStart)
+				if d.crashes(inv, id, replica, attempt) {
+					cancelTimeout()
+					w.Destroy(c)
+					d.crashCount++
+					if attempt < d.opts.MaxAttempts {
+						d.retryCount++
+						d.pubStep(inv, id, obs.StepRetried)
+						d.crashRetry(inv, id, replica, attempt+1, reissue, st, onDone)
+						return
+					}
+					inv.failed = true
+					d.pubStep(inv, id, obs.StepFailed)
+					st.finished = true
+					onDone(true)
+					return
+				}
+				storeStart := d.rt.Env.Now()
+				d.storeOutputs(inv, id, replica, workerID, func() {
+					if stale() {
+						w.Release(c)
+						return
+					}
+					cancelTimeout()
+					st.finished = true
+					d.span(inv, id, replica, "store", storeStart)
+					w.Release(c)
+					onDone(false)
+				})
+			})
+		})
+	})
+}
+
+// crashRetry re-runs an executor after an injected container crash. The
+// crashed container was local, so the retry stays on the same worker and —
+// without backoff — starts synchronously, preserving the immediate-retry
+// event order of plain crash injection. With backoff configured, the delay
+// window is published as a recovery span so attribution stays contiguous.
+func (d *Deployment) crashRetry(inv *invocation, id dag.NodeID, replica, attempt, reissue int, st *execState, onDone func(failed bool)) {
+	backoff := d.backoffDelay((attempt - 1) + reissue)
+	if backoff == 0 {
+		d.startAttempt(inv, id, replica, attempt, reissue, st, onDone)
+		return
+	}
+	failAt := d.rt.Env.Now()
+	worker := inv.place[id]
+	d.rt.Env.Schedule(backoff, func() {
+		if st.finished {
+			return
+		}
+		d.pubRecovery(inv, id, replica, "crash", worker, worker, reissue, backoff, failAt)
+		d.startAttempt(inv, id, replica, attempt, reissue, st, onDone)
+	})
+}
+
+// recoverExecutor abandons a stranded attempt (timeout or node death) and
+// re-issues the executor: re-placing the task if its worker is dead, paying
+// the backoff delay, then dispatching the assignment through the
+// mode-appropriate engine loop and a control message to the new worker.
+func (d *Deployment) recoverExecutor(inv *invocation, id dag.NodeID, replica, attempt, reissue int, st *execState, attemptStart sim.Time, reason string, onDone func(failed bool)) {
+	st.seq++ // invalidate any in-flight phase callbacks of the dead attempt
+	if st.finished {
+		return
+	}
+	if reissue >= d.opts.MaxReissues {
+		st.finished = true
+		inv.failed = true
+		d.pubStep(inv, id, obs.StepFailed)
+		onDone(true)
+		return
+	}
+	d.reissueCount++
+
+	oldWorker := inv.place[id]
+	if d.rt.Nodes[oldWorker].Failed() {
+		d.replaceStranded(inv, oldWorker)
+	}
+	newWorker := inv.place[id]
+	src, p := d.reissueSource(inv, id)
+
+	backoff := d.backoffDelay((attempt - 1) + reissue + 1)
+	dispatch := func() {
+		if st.finished {
+			return
+		}
+		p.process(func() {
+			if st.finished {
+				return
+			}
+			d.rt.Fabric.SendMsg(src, newWorker, d.opts.AssignMsgBytes, func() {
+				if st.finished {
+					return
+				}
+				d.pubRecovery(inv, id, replica, reason, oldWorker, newWorker, reissue+1, backoff, attemptStart)
+				d.startAttempt(inv, id, replica, attempt, reissue+1, st, onDone)
+			})
+		})
+	}
+	if backoff > 0 {
+		d.rt.Env.Schedule(backoff, dispatch)
+	} else {
+		dispatch()
+	}
+}
+
+// backoffDelay computes the exponential backoff for an executor that has
+// already failed `prior` times: BackoffBase doubled prior-1 times, capped
+// at BackoffMax. Zero BackoffBase disables backoff entirely.
+func (d *Deployment) backoffDelay(prior int) time.Duration {
+	if d.opts.BackoffBase <= 0 || prior <= 0 {
+		return 0
+	}
+	delay := d.opts.BackoffBase
+	for i := 1; i < prior; i++ {
+		delay *= 2
+		if delay >= d.opts.BackoffMax {
+			return d.opts.BackoffMax
+		}
+	}
+	if delay > d.opts.BackoffMax {
+		delay = d.opts.BackoffMax
+	}
+	return delay
+}
+
+// reissueSource picks the engine that re-dispatches a recovered task —
+// where the trigger state for the task lives. MasterSP: always the central
+// master engine. WorkerSP: the first alive predecessor's worker (the engine
+// that held the State entry and originally triggered the task); the master
+// steps in when the task has no predecessors or all their workers are dead.
+func (d *Deployment) reissueSource(inv *invocation, id dag.NodeID) (string, *proc) {
+	if d.opts.Mode == ModeMasterSP {
+		return d.rt.Master, d.master
+	}
+	for _, pred := range d.g.Preds(id) {
+		w := inv.place[pred]
+		if n, ok := d.rt.Nodes[w]; ok && !n.Failed() {
+			return w, d.workers[w]
+		}
+	}
+	return d.rt.Master, d.master
+}
+
+// replaceStranded re-places every task of this invocation currently
+// assigned to the dead worker onto surviving workers, cloning the
+// invocation's placement first (copy-on-write) so the deployment's map —
+// and other in-flight invocations — stay untouched.
+func (d *Deployment) replaceStranded(inv *invocation, dead string) {
+	if !inv.ownPlace {
+		clone := make(map[dag.NodeID]string, len(inv.place))
+		for k, v := range inv.place {
+			clone[k] = v
+		}
+		inv.place = clone
+		inv.ownPlace = true
+	}
+	for _, n := range d.g.Nodes() {
+		if inv.place[n.ID] != dead {
+			continue
+		}
+		nw := d.pickReplacement(inv, n.ID)
+		if nw == "" {
+			continue // no survivor; re-issues will keep failing until recovery
+		}
+		inv.place[n.ID] = nw
+		d.replaceCount++
+		d.pubStep(inv, n.ID, obs.StepReplaced)
+	}
+}
+
+// pickReplacement scores surviving workers for a stranded task by graph
+// locality — how many of the task's neighbors (predecessors and successors)
+// are placed there — echoing the Graph Scheduler's edge-weight objective.
+// Ties break on sorted node order, keeping re-placement deterministic.
+func (d *Deployment) pickReplacement(inv *invocation, id dag.NodeID) string {
+	best := ""
+	bestScore := -1
+	neighbors := append(append([]dag.NodeID{}, d.g.Preds(id)...), d.g.Succs(id)...)
+	for _, cand := range d.nodeOrder {
+		if cand == d.rt.Master {
+			continue
+		}
+		n := d.rt.Nodes[cand]
+		if n == nil || n.Failed() {
+			continue
+		}
+		score := 0
+		for _, nb := range neighbors {
+			if inv.place[nb] == cand {
+				score++
+			}
+		}
+		if score > bestScore {
+			best, bestScore = cand, score
+		}
+	}
+	return best
+}
+
+// pubRecovery publishes a RecoveryEvent and, when the recovery window has
+// width, a CompRecovery phase span covering it — [spanFrom, now] — so the
+// critical-path walk attributes fault-recovery time contiguously instead of
+// leaving an unattributed gap. For crashes spanFrom is the crash instant
+// (the backoff window only; the failed attempt's own phases were real work
+// and stay attributed as such); for timeouts and node deaths it is the
+// abandoned attempt's start, charging the whole wasted attempt to recovery.
+func (d *Deployment) pubRecovery(inv *invocation, id dag.NodeID, replica int, reason, oldWorker, newWorker string, reissue int, backoff time.Duration, spanFrom sim.Time) {
+	if !d.obs.Active() {
+		return
+	}
+	now := d.rt.Env.Now()
+	node := d.g.Node(id)
+	d.obs.Publish(obs.RecoveryEvent{
+		Workflow:  d.bench.Name,
+		Inv:       inv.id,
+		Node:      int(id),
+		Name:      node.Name,
+		Replica:   replica,
+		Reason:    reason,
+		OldWorker: oldWorker,
+		NewWorker: newWorker,
+		Reissue:   reissue,
+		Backoff:   backoff,
+		Start:     spanFrom,
+		At:        now,
+	})
+	if now > spanFrom {
+		d.obs.Publish(obs.PhaseEvent{
+			Workflow: d.bench.Name,
+			Inv:      inv.id,
+			Node:     int(id),
+			Name:     node.Name,
+			Replica:  replica,
+			Comp:     obs.CompRecovery,
+			Worker:   newWorker,
+			Start:    spanFrom,
+			End:      now,
+		})
+	}
+}

@@ -1,0 +1,217 @@
+// Package faults injects deterministic failures into a running simulation:
+// node deaths (every container destroyed, in-flight work aborted, warm
+// pools lost until recovery), network link degradation or partition, and
+// remote-storage outages. A fault schedule is plain data — apply the same
+// schedule to the same seeded run and every failure lands on the same
+// virtual-time instant, so chaos experiments are reproducible and
+// diffable like any other run.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/obs"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+// Kind classifies a fault.
+type Kind int
+
+const (
+	// NodeDown kills a worker node: all containers are destroyed, queued
+	// container acquisitions abort, in-flight executions are lost, and the
+	// node's in-memory store shard drops. The node accepts work again after
+	// the fault window.
+	NodeDown Kind = iota
+	// LinkDegraded multiplies a node's access-link capacity by Factor for
+	// the window; Factor 0 partitions the node (messages queue, flows
+	// starve) until the link heals.
+	LinkDegraded
+	// StoreOutage makes the remote KV unavailable for the window; issued
+	// operations queue and drain in order on recovery.
+	StoreOutage
+)
+
+func (k Kind) String() string {
+	switch k {
+	case NodeDown:
+		return "node-down"
+	case LinkDegraded:
+		return "link-degraded"
+	case StoreOutage:
+		return "store-outage"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Fault is one scheduled failure window.
+type Fault struct {
+	Kind Kind
+	// Node targets NodeDown and LinkDegraded faults; unused for StoreOutage.
+	Node string
+	// At is the failure instant, as an offset from Install time.
+	At time.Duration
+	// Duration is the fault window; the target recovers at At+Duration.
+	// Zero or negative means the fault is permanent for the run.
+	Duration time.Duration
+	// Factor is the LinkDegraded capacity multiplier in [0,1].
+	Factor float64
+}
+
+// Schedule is a set of fault windows, applied independently.
+type Schedule []Fault
+
+// Validate checks a schedule's internal consistency (targets are checked
+// against the topology at Install time).
+func (s Schedule) Validate() error {
+	for i, f := range s {
+		if f.At < 0 {
+			return fmt.Errorf("faults: fault %d: negative At %v", i, f.At)
+		}
+		switch f.Kind {
+		case NodeDown:
+			if f.Node == "" {
+				return fmt.Errorf("faults: fault %d: NodeDown needs a node", i)
+			}
+		case LinkDegraded:
+			if f.Node == "" {
+				return fmt.Errorf("faults: fault %d: LinkDegraded needs a node", i)
+			}
+			if f.Factor < 0 || f.Factor > 1 {
+				return fmt.Errorf("faults: fault %d: factor %v outside [0,1]", i, f.Factor)
+			}
+		case StoreOutage:
+		default:
+			return fmt.Errorf("faults: fault %d: unknown kind %d", i, int(f.Kind))
+		}
+	}
+	return nil
+}
+
+// Injector applies fault schedules to a simulation's substrate.
+type Injector struct {
+	env   *sim.Env
+	nodes map[string]*cluster.Node
+	fab   *network.Fabric
+	st    *store.Hybrid
+	bus   *obs.Bus
+
+	injected  int64
+	recovered int64
+}
+
+// NewInjector wires an injector to the substrate. fab, st, and bus may be
+// nil when the corresponding fault kinds are not used.
+func NewInjector(env *sim.Env, nodes map[string]*cluster.Node, fab *network.Fabric, st *store.Hybrid, bus *obs.Bus) *Injector {
+	if env == nil {
+		panic("faults: nil env")
+	}
+	return &Injector{env: env, nodes: nodes, fab: fab, st: st, bus: bus}
+}
+
+// Install validates the schedule against the topology and arms every fault
+// and recovery event on the simulation clock, relative to now.
+func (i *Injector) Install(s Schedule) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	for idx, f := range s {
+		switch f.Kind {
+		case NodeDown:
+			if i.nodes[f.Node] == nil {
+				return fmt.Errorf("faults: fault %d: unknown node %q", idx, f.Node)
+			}
+		case LinkDegraded:
+			if i.fab == nil || !i.fab.HasNode(f.Node) {
+				return fmt.Errorf("faults: fault %d: unknown fabric node %q", idx, f.Node)
+			}
+		case StoreOutage:
+			if i.st == nil {
+				return fmt.Errorf("faults: fault %d: no store attached", idx)
+			}
+		}
+	}
+	for _, f := range s {
+		f := f
+		i.env.Schedule(f.At, func() { i.apply(f) })
+		if f.Duration > 0 {
+			i.env.Schedule(f.At+f.Duration, func() { i.recover(f) })
+		}
+	}
+	return nil
+}
+
+func (i *Injector) apply(f Fault) {
+	i.injected++
+	switch f.Kind {
+	case NodeDown:
+		i.nodes[f.Node].Fail()
+		if i.st != nil {
+			// A dead node's in-memory store shard dies with it; consumers
+			// fall back to remote misses.
+			i.st.DropWorker(f.Node)
+		}
+		i.pub(obs.NodeFaultEvent{Node: f.Node, Down: true, At: i.env.Now()})
+	case LinkDegraded:
+		i.fab.SetLinkFactor(f.Node, f.Factor) // publishes LinkFaultEvent
+	case StoreOutage:
+		i.st.Remote().SetAvailable(false)
+		i.pub(obs.StoreFaultEvent{Down: true, At: i.env.Now()})
+	}
+}
+
+func (i *Injector) recover(f Fault) {
+	i.recovered++
+	switch f.Kind {
+	case NodeDown:
+		i.nodes[f.Node].Recover()
+		i.pub(obs.NodeFaultEvent{Node: f.Node, Down: false, At: i.env.Now()})
+	case LinkDegraded:
+		i.fab.SetLinkFactor(f.Node, 1)
+	case StoreOutage:
+		i.st.Remote().SetAvailable(true)
+		i.pub(obs.StoreFaultEvent{Down: false, At: i.env.Now()})
+	}
+}
+
+func (i *Injector) pub(ev obs.Event) {
+	if i.bus.Active() {
+		i.bus.Publish(ev)
+	}
+}
+
+// Injected reports how many fault windows have opened so far.
+func (i *Injector) Injected() int64 { return i.injected }
+
+// Recovered reports how many fault windows have closed so far.
+func (i *Injector) Recovered() int64 { return i.recovered }
+
+// RandomNodeKills builds a schedule of n node deaths drawn deterministically
+// from r: victims are picked from workers (sorted first, so iteration order
+// of the caller's map does not leak in), kill instants are uniform over
+// [window/4, 3*window/4] (mid-run, when work is in flight), and each node
+// stays down for a duration uniform in [minDown, maxDown].
+func RandomNodeKills(r *sim.Rand, workers []string, n int, window, minDown, maxDown time.Duration) Schedule {
+	if len(workers) == 0 || n <= 0 {
+		return nil
+	}
+	sorted := append([]string(nil), workers...)
+	sort.Strings(sorted)
+	if maxDown < minDown {
+		maxDown = minDown
+	}
+	var s Schedule
+	for k := 0; k < n; k++ {
+		victim := sorted[int(r.Uint64()%uint64(len(sorted)))]
+		at := window/4 + time.Duration(r.Float64()*float64(window/2))
+		down := minDown + time.Duration(r.Float64()*float64(maxDown-minDown))
+		s = append(s, Fault{Kind: NodeDown, Node: victim, At: at, Duration: down})
+	}
+	return s
+}

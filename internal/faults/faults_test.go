@@ -1,0 +1,192 @@
+package faults
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/network"
+	"repro/internal/sim"
+	"repro/internal/store"
+)
+
+func testNode(env *sim.Env, id string) *cluster.Node {
+	return cluster.NewNode(env, id, cluster.Config{
+		Cores: 2, DRAM: 1 << 30, ContainerMem: 256 << 20,
+		ColdStart: 100 * time.Millisecond, KeepAlive: 10 * time.Second, PerFnLimit: 4,
+	})
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Schedule{
+		{{Kind: NodeDown, At: -time.Second, Node: "w0"}},
+		{{Kind: NodeDown}},
+		{{Kind: LinkDegraded}},
+		{{Kind: LinkDegraded, Node: "w0", Factor: 1.5}},
+		{{Kind: LinkDegraded, Node: "w0", Factor: -0.1}},
+		{{Kind: Kind(99)}},
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("bad schedule %d validated", i)
+		}
+	}
+	good := Schedule{
+		{Kind: NodeDown, Node: "w0", At: time.Second, Duration: time.Second},
+		{Kind: LinkDegraded, Node: "w0", Factor: 0.5},
+		{Kind: StoreOutage, At: 2 * time.Second},
+	}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInstallRejectsUnknownTargets verifies topology checks happen before
+// anything is armed.
+func TestInstallRejectsUnknownTargets(t *testing.T) {
+	env := sim.NewEnv()
+	nodes := map[string]*cluster.Node{"w0": testNode(env, "w0")}
+	inj := NewInjector(env, nodes, nil, nil, nil)
+	if err := inj.Install(Schedule{{Kind: NodeDown, Node: "nope"}}); err == nil {
+		t.Error("unknown node accepted")
+	}
+	if err := inj.Install(Schedule{{Kind: LinkDegraded, Node: "w0", Factor: 0.5}}); err == nil {
+		t.Error("link fault accepted with no fabric")
+	}
+	if err := inj.Install(Schedule{{Kind: StoreOutage}}); err == nil {
+		t.Error("store outage accepted with no store")
+	}
+}
+
+// TestNodeFaultWindow drives a node through a scheduled death-and-recovery
+// window and checks the node's state tracks the schedule on the sim clock.
+func TestNodeFaultWindow(t *testing.T) {
+	env := sim.NewEnv()
+	n := testNode(env, "w0")
+	inj := NewInjector(env, map[string]*cluster.Node{"w0": n}, nil, nil, nil)
+	err := inj.Install(Schedule{{
+		Kind: NodeDown, Node: "w0", At: time.Second, Duration: 2 * time.Second,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(sim.Time(1500 * time.Millisecond))
+	if !n.Failed() {
+		t.Fatal("node alive inside the fault window")
+	}
+	env.Run()
+	if n.Failed() {
+		t.Fatal("node still failed after the window closed")
+	}
+	if inj.Injected() != 1 || inj.Recovered() != 1 {
+		t.Fatalf("injector counters = %d/%d, want 1/1", inj.Injected(), inj.Recovered())
+	}
+}
+
+// TestLinkAndStoreFaults wires a fabric and hybrid store and verifies the
+// link factor and store availability follow their windows.
+func TestLinkAndStoreFaults(t *testing.T) {
+	env := sim.NewEnv()
+	fab := network.New(env, network.DefaultConfig())
+	fab.AddNode("master", network.MBps(50), network.MBps(50))
+	fab.AddNode("w0", network.MBps(100), network.MBps(100))
+	remote := store.NewRemoteKV(env, fab, "master", time.Millisecond)
+	hybrid := store.NewHybrid(remote, map[string]*store.MemKV{}, true)
+	inj := NewInjector(env, nil, fab, hybrid, nil)
+	err := inj.Install(Schedule{
+		{Kind: LinkDegraded, Node: "w0", At: time.Second, Duration: time.Second, Factor: 0},
+		{Kind: StoreOutage, At: time.Second, Duration: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(sim.Time(1500 * time.Millisecond))
+	if f := fab.LinkFactor("w0"); f != 0 {
+		t.Fatalf("link factor %v inside partition window, want 0", f)
+	}
+	if remote.Available() {
+		t.Fatal("remote store available inside outage window")
+	}
+	env.Run()
+	if f := fab.LinkFactor("w0"); f != 1 {
+		t.Fatalf("link factor %v after heal, want 1", f)
+	}
+	if !remote.Available() {
+		t.Fatal("remote store still down after outage window")
+	}
+}
+
+// TestPartitionQueuesAndDrains verifies that control messages sent into a
+// partition are not lost: they deliver, in order, once the link heals.
+func TestPartitionQueuesAndDrains(t *testing.T) {
+	env := sim.NewEnv()
+	fab := network.New(env, network.DefaultConfig())
+	fab.AddNode("a", network.MBps(100), network.MBps(100))
+	fab.AddNode("b", network.MBps(100), network.MBps(100))
+	fab.SetLinkFactor("b", 0)
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		fab.SendMsg("a", "b", 256, func() { order = append(order, i) })
+	}
+	env.Run()
+	if len(order) != 0 {
+		t.Fatalf("messages delivered across a partition: %v", order)
+	}
+	fab.SetLinkFactor("b", 1)
+	env.Run()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("post-heal delivery order %v, want [0 1 2]", order)
+	}
+}
+
+// TestStoreOutageQueuesOps verifies storage operations issued during an
+// outage complete after recovery instead of failing or vanishing.
+func TestStoreOutageQueuesOps(t *testing.T) {
+	env := sim.NewEnv()
+	fab := network.New(env, network.DefaultConfig())
+	fab.AddNode("master", network.MBps(50), network.MBps(50))
+	fab.AddNode("w0", network.MBps(100), network.MBps(100))
+	remote := store.NewRemoteKV(env, fab, "master", time.Millisecond)
+	remote.Put("w0", "k", 1024, nil) // written before the outage
+	env.Run()
+	remote.SetAvailable(false)
+	putDone, gotBytes := false, int64(-1)
+	remote.Put("w0", "k2", 2048, func() { putDone = true })
+	remote.Get("w0", "k", func(b int64, ok bool) { gotBytes = b })
+	env.Run()
+	if putDone || gotBytes != -1 {
+		t.Fatal("store operations completed during the outage")
+	}
+	remote.SetAvailable(true)
+	env.Run()
+	if !putDone {
+		t.Fatal("queued Put never completed after recovery")
+	}
+	if gotBytes != 1024 {
+		t.Fatalf("queued Get returned %d bytes, want 1024", gotBytes)
+	}
+}
+
+func TestRandomNodeKillsDeterministic(t *testing.T) {
+	workers := []string{"w2", "w0", "w1"}
+	a := RandomNodeKills(sim.NewRand(7), workers, 3, time.Minute, time.Second, 5*time.Second)
+	b := RandomNodeKills(sim.NewRand(7), workers, 3, time.Minute, time.Second, 5*time.Second)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("schedule lengths %d/%d, want 3", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same-seed schedules differ at %d: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].At < time.Minute/4 || a[i].At > 3*time.Minute/4 {
+			t.Errorf("kill %d at %v, outside mid-run window", i, a[i].At)
+		}
+		if a[i].Duration < time.Second || a[i].Duration > 5*time.Second {
+			t.Errorf("kill %d lasts %v, outside [1s,5s]", i, a[i].Duration)
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -339,6 +339,19 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	u := s.cluster.Utilization()
+	// Failure counters aggregate across every deployed app: together with
+	// the fault metrics on /metrics they are the gateway's view of how much
+	// work the recovery layer re-did.
+	var fs faasflow.FailureStats
+	for _, app := range s.apps {
+		st := app.FailureStats()
+		fs.Crashes += st.Crashes
+		fs.Retries += st.Retries
+		fs.Timeouts += st.Timeouts
+		fs.Reissues += st.Reissues
+		fs.Replacements += st.Replacements
+		fs.FailedInvocations += st.FailedInvocations
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"containers":     u.Containers,
@@ -348,6 +361,14 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		"networkBytes":   u.NetworkBytes,
 		"storeLocalHits": u.StoreLocalHits,
 		"storeRemoteOps": u.StoreRemoteOps,
+		"failures": map[string]int64{
+			"crashes":           fs.Crashes,
+			"retries":           fs.Retries,
+			"timeouts":          fs.Timeouts,
+			"reissues":          fs.Reissues,
+			"replacements":      fs.Replacements,
+			"failedInvocations": fs.FailedInvocations,
+		},
 	})
 }
 

@@ -137,6 +137,15 @@ func TestClusterStats(t *testing.T) {
 	if u["coldStarts"].(float64) == 0 {
 		t.Fatalf("cluster stats empty: %v", u)
 	}
+	failures, ok := u["failures"].(map[string]any)
+	if !ok {
+		t.Fatalf("cluster stats missing failure counters: %v", u)
+	}
+	for _, key := range []string{"crashes", "retries", "timeouts", "reissues", "replacements", "failedInvocations"} {
+		if _, ok := failures[key]; !ok {
+			t.Errorf("failure counters missing %q: %v", key, failures)
+		}
+	}
 }
 
 func TestUtilizationAndBottleneckEndpoints(t *testing.T) {

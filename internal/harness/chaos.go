@@ -1,0 +1,194 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dag"
+	"repro/internal/engine"
+	"repro/internal/faults"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/workloads"
+)
+
+// This file drives the chaos-availability scenario: kill a worker node
+// mid-run while invocations are in flight and verify that the engine's
+// recovery layer (task timeouts, re-placement, mode-specific re-issue)
+// completes every invocation anyway. The run is fully deterministic —
+// seeded arrivals, a scheduled fault window — so two runs with the same
+// spec produce byte-identical snapshots, which is what the CI chaos smoke
+// job diffs.
+
+// ChaosSpec configures one chaos-availability run. Zero values take
+// defaults sized so the fault window overlaps in-flight work.
+type ChaosSpec struct {
+	Bench       string        // benchmark short name (default "IR")
+	Invocations int           // invocations per mode (default 20)
+	Interval    time.Duration // open-loop arrival spacing (default 400ms)
+	DownFor     time.Duration // victim outage window (default 5s)
+	Seed        uint64
+}
+
+func (s ChaosSpec) withDefaults() ChaosSpec {
+	if s.Bench == "" {
+		s.Bench = "IR"
+	}
+	if s.Invocations == 0 {
+		s.Invocations = 20
+	}
+	if s.Interval == 0 {
+		s.Interval = 400 * time.Millisecond
+	}
+	if s.DownFor == 0 {
+		s.DownFor = 5 * time.Second
+	}
+	return s
+}
+
+// ChaosRow is one mode's chaos-availability measurement.
+type ChaosRow struct {
+	Mode        engine.Mode
+	Victim      string        // worker killed mid-run
+	KillAt      time.Duration // fault instant
+	DownFor     time.Duration
+	Invocations int
+	Completed   int // invocations that finished (Failed or not)
+	FailedInv   int // completed with the Failed flag (budget exhausted)
+	Lost        int // invocations that never completed — must be zero
+	Stats       engine.FailureStats
+	Mean        time.Duration
+	P99         time.Duration
+	// Snapshot is the run's full flight-recorder snapshot; identical specs
+	// yield byte-identical snapshots.
+	Snapshot *obs.Snapshot
+}
+
+// Chaos runs the chaos-availability scenario once per mode: deploy the
+// benchmark with recovery enabled, start staggered invocations, kill the
+// worker hosting the most placed tasks halfway through the arrival window,
+// recover it after DownFor, and run the simulation dry.
+func Chaos(spec ChaosSpec, modes []engine.Mode) ([]ChaosRow, error) {
+	spec = spec.withDefaults()
+	if len(modes) == 0 {
+		modes = []engine.Mode{engine.ModeWorkerSP, engine.ModeMasterSP}
+	}
+	var rows []ChaosRow
+	for _, mode := range modes {
+		row, err := chaosOne(spec, mode)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func chaosOne(spec ChaosSpec, mode engine.Mode) (ChaosRow, error) {
+	bench := workloads.ByName(spec.Bench)
+	if bench == nil {
+		return ChaosRow{}, fmt.Errorf("harness: unknown benchmark %q", spec.Bench)
+	}
+	tb := NewTestbed(ClusterSpec{FaaStore: true, Seed: spec.Seed})
+	bus := obs.NewBus()
+	log := obs.NewTraceLog()
+	bus.Subscribe(log.Record)
+	tb.AttachBus(bus)
+
+	opts := engine.Options{
+		Mode: mode,
+		Data: engine.DataStore,
+		// The timeout must exceed the longest healthy attempt end-to-end
+		// (acquire queue + cold start + fetch + exec + store), or healthy
+		// work gets re-issued; it bounds how long a stranded task waits
+		// before the recovery path kicks in.
+		TaskTimeout: 20 * time.Second,
+		BackoffBase: 200 * time.Millisecond,
+		BackoffMax:  5 * time.Second,
+		MaxReissues: 10,
+	}
+	d, err := tb.Deploy(bench, opts)
+	if err != nil {
+		return ChaosRow{}, fmt.Errorf("harness: chaos deploy %s/%s: %w", spec.Bench, mode, err)
+	}
+
+	victim := chaosVictim(d.Placement.Worker, tb.Workers)
+	killAt := spec.Interval * time.Duration(spec.Invocations) / 2
+	inj := faults.NewInjector(tb.Env, tb.Runtime.Nodes, tb.Fabric, tb.Runtime.Store, bus)
+	if err := inj.Install(faults.Schedule{{
+		Kind:     faults.NodeDown,
+		Node:     victim,
+		At:       killAt,
+		Duration: spec.DownFor,
+	}}); err != nil {
+		return ChaosRow{}, err
+	}
+
+	rec := &metrics.Recorder{}
+	completed, failed := 0, 0
+	for i := 0; i < spec.Invocations; i++ {
+		delay := time.Duration(i) * spec.Interval
+		tb.Env.Schedule(delay, func() {
+			d.Engine.Invoke(func(r engine.Result) {
+				completed++
+				if r.Failed {
+					failed++
+				}
+				rec.Add(r.Latency())
+			})
+		})
+	}
+	tb.Env.Run()
+
+	return ChaosRow{
+		Mode:        mode,
+		Victim:      victim,
+		KillAt:      killAt,
+		DownFor:     spec.DownFor,
+		Invocations: spec.Invocations,
+		Completed:   completed,
+		FailedInv:   failed,
+		Lost:        spec.Invocations - completed,
+		Stats:       d.Engine.FailureStatsSnapshot(),
+		Mean:        rec.Mean(),
+		P99:         rec.P99(),
+		Snapshot: obs.BuildSnapshot(log, map[string]string{
+			"scenario": "chaos",
+			"bench":    spec.Bench,
+			"mode":     mode.String(),
+		}),
+	}, nil
+}
+
+// chaosVictim picks the worker hosting the most placed tasks — the node
+// whose death strands the most work. Ties break on the testbed's worker
+// order, keeping the choice deterministic.
+func chaosVictim(place map[dag.NodeID]string, workers []string) string {
+	counts := map[string]int{}
+	for _, w := range place {
+		counts[w]++
+	}
+	best, bestCount := "", -1
+	for _, w := range workers {
+		if counts[w] > bestCount {
+			best, bestCount = w, counts[w]
+		}
+	}
+	return best
+}
+
+// RenderChaos builds the chaos-availability table.
+func RenderChaos(rows []ChaosRow) *metrics.Table {
+	t := metrics.NewTable("mode", "victim", "kill at", "down for", "done", "lost",
+		"failed", "reissues", "replaced", "timeouts", "mean", "p99")
+	for _, r := range rows {
+		t.AddRow(r.Mode.String(), r.Victim,
+			metrics.Seconds(r.KillAt), metrics.Seconds(r.DownFor),
+			fmt.Sprintf("%d/%d", r.Completed, r.Invocations),
+			fmt.Sprintf("%d", r.Lost), fmt.Sprintf("%d", r.FailedInv),
+			fmt.Sprintf("%d", r.Stats.Reissues), fmt.Sprintf("%d", r.Stats.Replacements),
+			fmt.Sprintf("%d", r.Stats.Timeouts),
+			metrics.Millis(r.Mean), metrics.Millis(r.P99))
+	}
+	return t
+}

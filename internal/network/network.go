@@ -57,8 +57,12 @@ func DefaultConfig() Config {
 // link is one direction of a node's access link.
 type link struct {
 	capacity Bandwidth
+	factor   float64 // fault multiplier: 1 healthy, (0,1) degraded, 0 partitioned
 	flows    map[*Flow]struct{}
 }
+
+// effCap is the capacity currently usable, after fault degradation.
+func (l *link) effCap() float64 { return float64(l.capacity) * l.factor }
 
 type node struct {
 	id      string
@@ -110,6 +114,16 @@ type Fabric struct {
 
 	bus        *obs.Bus
 	nextFlowID int64
+
+	// blocked holds control messages caught by a link partition, delivered
+	// in order when the partition heals.
+	blocked []blockedMsg
+}
+
+type blockedMsg struct {
+	from, to string
+	size     int64
+	done     func()
 }
 
 // SetBus attaches (or detaches, with nil) an observability bus. Bulk
@@ -162,8 +176,8 @@ func (f *Fabric) AddNode(id string, egress, ingress Bandwidth) {
 	}
 	f.nodes[id] = &node{
 		id:      id,
-		egress:  &link{capacity: egress, flows: map[*Flow]struct{}{}},
-		ingress: &link{capacity: ingress, flows: map[*Flow]struct{}{}},
+		egress:  &link{capacity: egress, factor: 1, flows: map[*Flow]struct{}{}},
+		ingress: &link{capacity: ingress, factor: 1, flows: map[*Flow]struct{}{}},
 	}
 	f.order = append(f.order, id)
 	sort.Strings(f.order)
@@ -192,6 +206,68 @@ func (f *Fabric) SetBandwidth(id string, egress, ingress Bandwidth) {
 	f.resolve()
 }
 
+// SetLinkFactor applies a fault multiplier to both directions of a node's
+// access link: 1 restores full capacity, values in (0,1) degrade it, and 0
+// partitions the node — bulk flows stall (they resume when the factor
+// rises) and control messages queue until the partition heals, arriving in
+// send order. Active flows are re-solved immediately.
+func (f *Fabric) SetLinkFactor(id string, factor float64) {
+	n, ok := f.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown node %q", id))
+	}
+	if factor < 0 || factor > 1 {
+		panic(fmt.Sprintf("network: node %q link factor %v out of [0,1]", id, factor))
+	}
+	f.settleAll()
+	n.egress.factor = factor
+	n.ingress.factor = factor
+	if f.bus.Active() {
+		f.bus.Publish(obs.LinkFaultEvent{Node: id, Factor: factor, At: f.env.Now()})
+		f.bus.Publish(obs.LinkCapacityEvent{
+			Node:       id,
+			EgressBps:  n.egress.effCap(),
+			IngressBps: n.ingress.effCap(),
+			At:         f.env.Now(),
+		})
+	}
+	f.resolve()
+	if factor > 0 {
+		f.drainBlocked()
+	}
+}
+
+// LinkFactor reports a node's current link fault multiplier.
+func (f *Fabric) LinkFactor(id string) float64 {
+	n, ok := f.nodes[id]
+	if !ok {
+		panic(fmt.Sprintf("network: unknown node %q", id))
+	}
+	return n.egress.factor
+}
+
+// partitioned reports whether a message between the two nodes is cut off.
+func (f *Fabric) partitioned(src, dst *node) bool {
+	return src.egress.factor == 0 || dst.ingress.factor == 0
+}
+
+// drainBlocked re-sends queued messages whose endpoints are both reachable
+// again, preserving send order among the drained set.
+func (f *Fabric) drainBlocked() {
+	if len(f.blocked) == 0 {
+		return
+	}
+	pending := f.blocked
+	f.blocked = nil
+	for _, m := range pending {
+		if f.partitioned(f.nodes[m.from], f.nodes[m.to]) {
+			f.blocked = append(f.blocked, m)
+			continue
+		}
+		f.deliverMsg(m.from, m.to, m.size, m.done)
+	}
+}
+
 // Send starts a bulk transfer of size bytes from one node to another and
 // calls done when the last byte has arrived. Same-node transfers complete
 // after LocalLatency without touching the fabric. It returns the flow for
@@ -218,6 +294,10 @@ func (f *Fabric) Send(from, to string, size int64, done func()) *Flow {
 	if size == 0 {
 		// An empty payload degenerates to a bare message.
 		f.totalFlows++
+		if f.partitioned(src, dst) {
+			f.blocked = append(f.blocked, blockedMsg{from: from, to: to, done: done})
+			return nil
+		}
 		f.env.Schedule(f.cfg.MsgLatency, done)
 		return nil
 	}
@@ -279,7 +359,20 @@ func (f *Fabric) SendMsg(from, to string, size int64, done func()) {
 		f.env.Schedule(f.cfg.LocalLatency, done)
 		return
 	}
-	bw := math.Min(float64(src.egress.capacity), float64(dst.ingress.capacity))
+	if f.partitioned(src, dst) {
+		// The partition swallows the message until the link heals; delivery
+		// resumes in send order from drainBlocked.
+		f.blocked = append(f.blocked, blockedMsg{from: from, to: to, size: size, done: done})
+		return
+	}
+	f.deliverMsg(from, to, size, done)
+}
+
+// deliverMsg pays latency plus serialization at the slower link's effective
+// capacity and schedules done.
+func (f *Fabric) deliverMsg(from, to string, size int64, done func()) {
+	src, dst := f.nodes[from], f.nodes[to]
+	bw := math.Min(src.egress.effCap(), dst.ingress.effCap())
 	ser := time.Duration(float64(size) / bw * float64(time.Second))
 	src.bytesOut += size
 	dst.bytesIn += size
@@ -354,7 +447,7 @@ func (f *Fabric) resolve() {
 			if st.unfixed == 0 {
 				continue
 			}
-			s := (float64(st.l.capacity) - st.used) / float64(st.unfixed)
+			s := (st.l.effCap() - st.used) / float64(st.unfixed)
 			if s < share {
 				share = s
 				bottleneck = st

@@ -27,6 +27,9 @@ type Collector struct {
 	storeSecs   *Histogram
 	placements  *Counter
 	chainSecs   *Histogram
+	faults      *Counter
+	recoveries  *Counter
+	recoverySec *Histogram
 }
 
 // NewCollector registers the standard metric families on reg and returns
@@ -79,6 +82,12 @@ func NewCollector(reg *Registry) *Collector {
 			"Graph Scheduler placement decisions.", "workflow"),
 		chainSecs: reg.Histogram("faasflow_trigger_component_seconds",
 			"Control-plane trigger chain segment durations.", nil, "component"),
+		faults: reg.Counter("faasflow_faults_total",
+			"Injected fault transitions.", "kind", "target", "phase"),
+		recoveries: reg.Counter("faasflow_recoveries_total",
+			"Executor re-issues after faults.", "workflow", "reason", "replaced"),
+		recoverySec: reg.Histogram("faasflow_recovery_seconds",
+			"Time from a failed attempt's start to its replacement attempt.", nil, "workflow", "reason"),
 	}
 }
 
@@ -134,6 +143,31 @@ func (c *Collector) Handle(ev Event) {
 		for _, s := range e.Segments {
 			c.chainSecs.Observe(s.Duration().Seconds(), s.Comp.String())
 		}
+	case NodeFaultEvent:
+		phase := "recover"
+		if e.Down {
+			phase = "down"
+		}
+		c.faults.Inc("node", e.Node, phase)
+	case LinkFaultEvent:
+		phase := "recover"
+		if e.Factor < 1 {
+			phase = "down"
+		}
+		c.faults.Inc("link", e.Node, phase)
+	case StoreFaultEvent:
+		phase := "recover"
+		if e.Down {
+			phase = "down"
+		}
+		c.faults.Inc("store", "remote", phase)
+	case RecoveryEvent:
+		replaced := "same"
+		if e.NewWorker != e.OldWorker {
+			replaced = "replaced"
+		}
+		c.recoveries.Inc(e.Workflow, e.Reason, replaced)
+		c.recoverySec.Observe((e.At - e.Start).Duration().Seconds(), e.Workflow, e.Reason)
 	}
 }
 

@@ -86,6 +86,8 @@ func (l *TraceLog) ForWorkflow(name string) *TraceLog {
 			wf = e.Workflow
 		case PlacementEvent:
 			wf = e.Workflow
+		case RecoveryEvent:
+			wf = e.Workflow
 		default:
 			continue
 		}

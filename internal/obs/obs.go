@@ -40,6 +40,10 @@ const (
 	// CompSchedule is engine-loop processing time (trigger checks, task
 	// marshalling) — the overhead WorkerSP decentralizes.
 	CompSchedule
+	// CompRecovery is fault-recovery overhead: the dead time of a failed or
+	// timed-out executor attempt plus the re-issue hop and backoff before
+	// the replacement attempt starts.
+	CompRecovery
 
 	numComponents
 )
@@ -60,6 +64,8 @@ func (c Component) String() string {
 		return "queue"
 	case CompSchedule:
 		return "schedule"
+	case CompRecovery:
+		return "recovery"
 	default:
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
@@ -129,6 +135,12 @@ const (
 	StepFailed
 	// StepRetried fires on each executor retry after a container crash.
 	StepRetried
+	// StepTimedOut fires when an executor attempt exceeds the task timeout
+	// (typically because its node died mid-flight).
+	StepTimedOut
+	// StepReplaced fires when a task stranded on a dead node is re-placed
+	// onto a surviving worker.
+	StepReplaced
 )
 
 func (s StepState) String() string {
@@ -143,6 +155,10 @@ func (s StepState) String() string {
 		return "failed"
 	case StepRetried:
 		return "retried"
+	case StepTimedOut:
+		return "timed_out"
+	case StepReplaced:
+		return "replaced"
 	default:
 		return fmt.Sprintf("StepState(%d)", int(s))
 	}
@@ -399,6 +415,64 @@ type PlacementEvent struct {
 
 func (e PlacementEvent) Kind() string   { return "placement" }
 func (e PlacementEvent) When() sim.Time { return e.At }
+
+// ---------------------------------------------------------------------------
+// Fault events.
+
+// NodeFaultEvent marks a worker node going down or recovering.
+type NodeFaultEvent struct {
+	Node string
+	Down bool // true = failure, false = recovery
+	At   sim.Time
+}
+
+func (e NodeFaultEvent) Kind() string   { return "node-fault" }
+func (e NodeFaultEvent) When() sim.Time { return e.At }
+
+// LinkFaultEvent marks a node's access link being degraded (Factor < 1),
+// partitioned (Factor == 0), or restored (Factor == 1).
+type LinkFaultEvent struct {
+	Node   string
+	Factor float64 // capacity multiplier now in effect
+	At     sim.Time
+}
+
+func (e LinkFaultEvent) Kind() string   { return "link-fault" }
+func (e LinkFaultEvent) When() sim.Time { return e.At }
+
+// StoreFaultEvent marks the remote storage backend going unavailable or
+// coming back (queued operations drain on recovery).
+type StoreFaultEvent struct {
+	Down bool
+	At   sim.Time
+}
+
+func (e StoreFaultEvent) Kind() string   { return "store-fault" }
+func (e StoreFaultEvent) When() sim.Time { return e.At }
+
+// RecoveryEvent records one executor re-issue after a fault: the reason
+// (node-down, timeout, crash), the worker the attempt was stranded on, the
+// worker the replacement attempt runs on (same string when no re-placement
+// happened), and the backoff delay paid before re-issuing. Start is the
+// failed attempt's start; At is the instant the replacement attempt begins,
+// so At-Start is the recovery overhead the critical path may absorb.
+type RecoveryEvent struct {
+	Workflow  string
+	Inv       int64
+	Node      int // dag.NodeID of the step
+	Name      string
+	Replica   int
+	Reason    string // "node-down" | "timeout" | "crash"
+	OldWorker string
+	NewWorker string
+	Reissue   int // 1-based re-issue counter for this executor
+	Backoff   time.Duration
+	Start     sim.Time
+	At        sim.Time
+}
+
+func (e RecoveryEvent) Kind() string   { return "recovery" }
+func (e RecoveryEvent) When() sim.Time { return e.At }
 
 // ---------------------------------------------------------------------------
 // Bus.

@@ -81,6 +81,14 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 		ev, err = unmarshal(&StoreEvent{})
 	case "placement":
 		ev, err = unmarshal(&PlacementEvent{})
+	case "node-fault":
+		ev, err = unmarshal(&NodeFaultEvent{})
+	case "link-fault":
+		ev, err = unmarshal(&LinkFaultEvent{})
+	case "store-fault":
+		ev, err = unmarshal(&StoreFaultEvent{})
+	case "recovery":
+		ev, err = unmarshal(&RecoveryEvent{})
 	default:
 		return nil, fmt.Errorf("obs: snapshot holds unknown event kind %q (newer writer?)", kind)
 	}
@@ -112,6 +120,14 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case *StoreEvent:
 		return *e, nil
 	case *PlacementEvent:
+		return *e, nil
+	case *NodeFaultEvent:
+		return *e, nil
+	case *LinkFaultEvent:
+		return *e, nil
+	case *StoreFaultEvent:
+		return *e, nil
+	case *RecoveryEvent:
 		return *e, nil
 	}
 	return ev, nil

@@ -11,6 +11,23 @@ type Rand struct{ state uint64 }
 // seed produce identical sequences.
 func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
 
+// Mix hashes a tuple of values into one well-distributed 64-bit seed by
+// running each through a splitmix64 finalizer round. Unlike shift-and-xor
+// packing, nearby tuples (adjacent attempts, wide fan-out replicas) land in
+// unrelated regions of the seed space, so per-tuple random decisions do not
+// correlate.
+func Mix(vals ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vals {
+		h ^= v
+		h += 0x9e3779b97f4a7c15
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

@@ -1,0 +1,44 @@
+package sim
+
+import "testing"
+
+// TestMixTupleUniqueness covers the crash-seed regression: the old seed
+// packed the attempt counter into the low 8 bits of a xor, so tuples like
+// (replica 1, attempt 0) and (replica 0, attempt 256) collided — wide
+// foreach fan-outs and deep retry chains shared crash decisions. Mix must
+// keep every nearby tuple distinct.
+func TestMixTupleUniqueness(t *testing.T) {
+	seen := map[uint64][4]uint64{}
+	for inv := uint64(0); inv < 4; inv++ {
+		for node := uint64(0); node < 8; node++ {
+			for replica := uint64(0); replica < 300; replica++ {
+				for attempt := uint64(0); attempt < 4; attempt++ {
+					h := Mix(inv, node, replica, attempt)
+					if prev, dup := seen[h]; dup {
+						t.Fatalf("Mix collision: %v and %v both hash to %#x",
+							prev, [4]uint64{inv, node, replica, attempt}, h)
+					}
+					seen[h] = [4]uint64{inv, node, replica, attempt}
+				}
+			}
+		}
+	}
+}
+
+// TestMixOrderAndArity verifies that argument order and count matter: the
+// mix is a sequential absorb, not a commutative xor.
+func TestMixOrderAndArity(t *testing.T) {
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix is order-insensitive")
+	}
+	if Mix(1, 2) == Mix(1, 2, 0) {
+		t.Error("Mix ignores trailing zero values")
+	}
+	if Mix() == Mix(0) {
+		t.Error("Mix ignores arity")
+	}
+	a, b := Mix(7, 7, 7), Mix(7, 7, 7)
+	if a != b {
+		t.Error("Mix is not deterministic")
+	}
+}

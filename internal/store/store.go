@@ -72,6 +72,9 @@ type RemoteKV struct {
 
 	values map[string]int64
 	stats  Stats
+
+	down    bool
+	pending []func() // operations queued during an outage, in arrival order
 }
 
 // NewRemoteKV creates a remote store homed on the given fabric node.
@@ -85,6 +88,37 @@ func NewRemoteKV(env *sim.Env, fab *network.Fabric, node string, opLatency time.
 // Node reports the fabric node the store is attached to.
 func (s *RemoteKV) Node() string { return s.node }
 
+// SetAvailable toggles the database's availability (the fault injector's
+// storage-outage window). While down, Put/Get requests queue instead of
+// touching the fabric; restoring availability drains them in arrival order.
+// The outage time counts toward each queued operation's TransferTime, so
+// storage stalls surface in data-movement accounting.
+func (s *RemoteKV) SetAvailable(up bool) {
+	if up != s.down {
+		return // no transition
+	}
+	s.down = !up
+	if up {
+		pending := s.pending
+		s.pending = nil
+		for _, op := range pending {
+			op()
+		}
+	}
+}
+
+// Available reports whether the database is serving requests.
+func (s *RemoteKV) Available() bool { return !s.down }
+
+// admit runs op now, or queues it until the outage ends.
+func (s *RemoteKV) admit(op func()) {
+	if s.down {
+		s.pending = append(s.pending, op)
+		return
+	}
+	op()
+}
+
 // Put uploads size bytes from worker `from` under key and calls done when
 // the database has acknowledged the write.
 func (s *RemoteKV) Put(from, key string, size int64, done func()) {
@@ -94,11 +128,13 @@ func (s *RemoteKV) Put(from, key string, size int64, done func()) {
 	start := s.env.Now()
 	s.stats.Puts++
 	s.stats.BytesPut += size
-	s.fab.Send(from, s.node, size, func() {
-		s.env.Schedule(s.OpLatency, func() {
-			s.values[key] = size
-			s.stats.TransferTime += (s.env.Now() - start).Duration()
-			done()
+	s.admit(func() {
+		s.fab.Send(from, s.node, size, func() {
+			s.env.Schedule(s.OpLatency, func() {
+				s.values[key] = size
+				s.stats.TransferTime += (s.env.Now() - start).Duration()
+				done()
+			})
 		})
 	})
 }
@@ -112,25 +148,27 @@ func (s *RemoteKV) Get(to, key string, done func(size int64, ok bool)) {
 	}
 	start := s.env.Now()
 	s.stats.Gets++
-	size, ok := s.values[key]
-	if !ok {
-		s.fab.SendMsg(to, s.node, 128, func() {
-			s.env.Schedule(s.OpLatency, func() {
-				s.fab.SendMsg(s.node, to, 128, func() {
-					s.stats.TransferTime += (s.env.Now() - start).Duration()
-					done(0, false)
+	s.admit(func() {
+		size, ok := s.values[key]
+		if !ok {
+			s.fab.SendMsg(to, s.node, 128, func() {
+				s.env.Schedule(s.OpLatency, func() {
+					s.fab.SendMsg(s.node, to, 128, func() {
+						s.stats.TransferTime += (s.env.Now() - start).Duration()
+						done(0, false)
+					})
 				})
 			})
-		})
-		return
-	}
-	s.stats.BytesGot += size
-	// Request, lookup, then payload back.
-	s.fab.SendMsg(to, s.node, 128, func() {
-		s.env.Schedule(s.OpLatency, func() {
-			s.fab.Send(s.node, to, size, func() {
-				s.stats.TransferTime += (s.env.Now() - start).Duration()
-				done(size, true)
+			return
+		}
+		s.stats.BytesGot += size
+		// Request, lookup, then payload back.
+		s.fab.SendMsg(to, s.node, 128, func() {
+			s.env.Schedule(s.OpLatency, func() {
+				s.fab.Send(s.node, to, size, func() {
+					s.stats.TransferTime += (s.env.Now() - start).Duration()
+					done(size, true)
+				})
 			})
 		})
 	})
@@ -264,6 +302,13 @@ func (s *MemKV) Delete(key string) {
 		s.used -= size
 		delete(s.values, key)
 	}
+}
+
+// Clear drops every resident key and resets usage — the node hosting the
+// store died and its memory contents are gone.
+func (s *MemKV) Clear() {
+	s.used = 0
+	s.values = map[string]int64{}
 }
 
 // Len reports the number of resident keys.
@@ -406,6 +451,23 @@ func (h *Hybrid) Delete(key string) {
 	}
 	delete(h.placements, key)
 	delete(h.homes, key)
+}
+
+// DropWorker models a worker's in-memory store dying with its node: every
+// key homed there is lost — later Gets fall through to the remote store and
+// miss — and the local quota usage resets. Safe for unknown workers.
+func (h *Hybrid) DropWorker(node string) {
+	m := h.mem[node]
+	if m == nil {
+		return
+	}
+	for key, home := range h.homes {
+		if home == node {
+			delete(h.placements, key)
+			delete(h.homes, key)
+		}
+	}
+	m.Clear()
 }
 
 // LocalHits reports how many Gets were served from worker memory.
