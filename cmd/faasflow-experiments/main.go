@@ -67,17 +67,23 @@ func main() {
 	var (
 		run   = flag.String("run", "all", "comma-separated experiment list or 'all'")
 		n     = flag.Int("n", 1000, "invocations per measurement")
-		snap  = flag.String("snapshot", "", "also write a flight-recorder snapshot (Gen+Vid on FaaSFlow-FaaStore) to this file")
-		chaos = flag.Bool("chaos", false, "run only the chaos availability scenario (shorthand for -run chaos)")
+		snap     = flag.String("snapshot", "", "also write a flight-recorder snapshot (Gen+Vid on FaaSFlow-FaaStore) to this file")
+		chaos    = flag.Bool("chaos", false, "run only the chaos availability scenario (shorthand for -run chaos)")
+		overload = flag.Bool("overload", false, "run only the overload-control scenario (shorthand for -run overload)")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's table as CSV into this directory")
 	flag.StringVar(&svgDir, "svg", "", "also write each experiment's figure as SVG into this directory")
 	flag.StringVar(&chaosSnapDir, "chaos-snapshots", "", "write each chaos mode's flight-recorder snapshot into this directory")
+	flag.BoolVar(&noAdmission, "no-admission", false, "overload counterfactual: disable front-door admission control (the goodput gate is expected to fail)")
+	flag.StringVar(&overloadSnapDir, "overload-snapshots", "", "write each overload rate point's flight-recorder snapshot into this directory")
 	flag.Parse()
 	if *chaos {
 		*run = "chaos"
 	}
-	for _, dir := range []string{csvDir, svgDir, chaosSnapDir} {
+	if *overload {
+		*run = "overload"
+	}
+	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir} {
 		if dir == "" {
 			continue
 		}
@@ -148,6 +154,38 @@ var experiments = []struct {
 	{"coldstart", "keep-alive vs cold-start trade-off (extension)", runColdStart},
 	{"claims", "the paper's derived headline claims", runClaims},
 	{"chaos", "chaos availability: kill a worker mid-run, require zero lost invocations", runChaos},
+	{"overload", "overload control: sweep arrival rate past saturation, require graceful degradation", runOverload},
+}
+
+// noAdmission disables the overload scenario's front-door admission
+// control; overloadSnapDir, when set, receives each rate point's snapshot
+// as overload-<mode>-x<multiplier>.json.
+var (
+	noAdmission     bool
+	overloadSnapDir string
+)
+
+func runOverload(int) error {
+	spec := harness.OverloadSpec{NoAdmission: noAdmission}
+	rows, err := harness.Overload(spec, nil)
+	if err != nil {
+		return err
+	}
+	emit("overload", harness.RenderOverload(rows))
+	for _, r := range rows {
+		if overloadSnapDir == "" {
+			continue
+		}
+		data, err := r.Snapshot.Marshal()
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("overload-%s-x%g.json", r.Mode, r.Multiplier)
+		if err := os.WriteFile(filepath.Join(overloadSnapDir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return harness.CheckOverload(rows, 0.7)
 }
 
 // chaosSnapDir, when set, receives each chaos mode's flight-recorder

@@ -21,20 +21,26 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8080", "listen address")
-		workers   = flag.Int("workers", 7, "worker node count")
-		storageMB = flag.Float64("storage-bw", 50, "storage bandwidth MB/s")
-		faastore  = flag.Bool("faastore", true, "enable FaaStore")
-		masterSP  = flag.Bool("master", false, "run the MasterSP baseline pattern")
-		seed      = flag.Uint64("seed", 1, "placement seed")
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", 7, "worker node count")
+		storageMB  = flag.Float64("storage-bw", 50, "storage bandwidth MB/s")
+		faastore   = flag.Bool("faastore", true, "enable FaaStore")
+		masterSP   = flag.Bool("master", false, "run the MasterSP baseline pattern")
+		seed       = flag.Uint64("seed", 1, "placement seed")
+		admitRate  = flag.Float64("admit-rate", 0, "admission: sustained invokes/sec (0 = unlimited)")
+		admitBurst = flag.Float64("admit-burst", 0, "admission: token-bucket burst (0 = rate)")
+		admitConc  = flag.Int("admit-concurrent", 0, "admission: max concurrent invoke requests (0 = unlimited)")
 	)
 	flag.Parse()
 	srv := gateway.New(gateway.Config{
-		Workers:            *workers,
-		StorageBandwidthMB: *storageMB,
-		FaaStore:           *faastore,
-		MasterSP:           *masterSP,
-		Seed:               *seed,
+		Workers:                *workers,
+		StorageBandwidthMB:     *storageMB,
+		FaaStore:               *faastore,
+		MasterSP:               *masterSP,
+		Seed:                   *seed,
+		AdmissionRatePerSec:    *admitRate,
+		AdmissionBurst:         *admitBurst,
+		AdmissionMaxConcurrent: *admitConc,
 	})
 	fmt.Printf("faasflow-gateway listening on %s (%d workers, faastore=%v)\n",
 		*addr, *workers, *faastore)

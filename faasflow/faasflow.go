@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/harness"
@@ -87,7 +88,8 @@ func WithSeed(seed uint64) Option {
 // Cluster is a simulated FaaS cluster: worker nodes, a master/storage
 // node, a fair-share network fabric, and (optionally) FaaStore.
 type Cluster struct {
-	tb *harness.Testbed
+	tb  *harness.Testbed
+	adm *admission.Controller // nil until SetAdmission; nil admits everything
 }
 
 // NewCluster builds a cluster with the paper's defaults (7 workers, 8

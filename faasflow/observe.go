@@ -37,14 +37,21 @@ func NewObserver() *Observer {
 func (c *Cluster) AttachObserver(o *Observer) {
 	if o == nil {
 		c.tb.AttachBus(nil)
+		c.adm.SetBus(nil)
 		return
 	}
 	c.tb.AttachBus(o.bus)
+	// SetAdmission and AttachObserver can run in either order; keep the
+	// controller on whatever bus is current.
+	c.adm.SetBus(o.bus)
 }
 
 // DetachObserver disconnects observation; subsequent activity publishes
 // nothing.
-func (c *Cluster) DetachObserver() { c.tb.AttachBus(nil) }
+func (c *Cluster) DetachObserver() {
+	c.tb.AttachBus(nil)
+	c.adm.SetBus(nil)
+}
 
 // PrometheusText renders the collected metrics in Prometheus text
 // exposition format (what a /metrics endpoint serves).

@@ -1,0 +1,158 @@
+package faasflow
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+)
+
+// This file is the public overload-control surface: front-door admission
+// (token-bucket rate limit plus a concurrent-workflow cap) and
+// deadline-bounded invocation. See docs/OVERLOAD.md for the knobs and the
+// goodput-curve methodology behind them.
+
+// ErrOverloaded matches (via errors.Is) every admission rejection — from
+// Cluster.Admit, App.RunAdmitted accounting, and the gateway's 429 path.
+var ErrOverloaded = admission.ErrOverloaded
+
+// OverloadError is an admission rejection: which limit fired and how long
+// the client should wait before retrying (the gateway's Retry-After hint).
+type OverloadError struct {
+	Reason     string        // "rate" | "concurrency"
+	RetryAfter time.Duration // suggested client backoff
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("faasflow: overloaded (%s limit), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) succeed for every rejection.
+func (e *OverloadError) Is(target error) bool { return target == ErrOverloaded }
+
+// AdmissionConfig fixes the cluster's front-door limits. Zero values
+// disable the corresponding limit.
+type AdmissionConfig struct {
+	// RatePerSec is the sustained workflow-admission rate (token bucket).
+	RatePerSec float64
+	// Burst is the bucket capacity; 0 defaults to max(1, RatePerSec).
+	Burst float64
+	// MaxConcurrent caps admitted workflows in flight.
+	MaxConcurrent int
+}
+
+// SetAdmission installs (or, with the zero config, effectively disables)
+// front-door admission control on the cluster. Every workflow start —
+// Cluster.Admit, App.RunAdmitted, and the gateway's invoke endpoint —
+// passes through it.
+func (c *Cluster) SetAdmission(cfg AdmissionConfig) error {
+	ctl, err := admission.New(c.tb.Env, admission.Config{
+		RatePerSec:    cfg.RatePerSec,
+		Burst:         cfg.Burst,
+		MaxConcurrent: cfg.MaxConcurrent,
+	})
+	if err != nil {
+		return err
+	}
+	ctl.SetBus(c.tb.Bus())
+	c.adm = ctl
+	return nil
+}
+
+// Admit asks the admission controller for one workflow start. On success
+// it returns a release closure the caller must invoke when the workflow
+// finishes; on overload it returns an *OverloadError matching
+// ErrOverloaded. With no controller installed everything is admitted.
+func (c *Cluster) Admit(workflow string) (release func(), err error) {
+	if err := c.adm.Admit(workflow); err != nil {
+		var ae *admission.Error
+		if errors.As(err, &ae) {
+			return nil, &OverloadError{Reason: ae.Reason, RetryAfter: ae.RetryAfter}
+		}
+		return nil, err
+	}
+	if c.adm == nil {
+		return func() {}, nil
+	}
+	return c.adm.Release, nil
+}
+
+// AdmissionStats reports the controller's lifetime decision counters.
+type AdmissionStats struct {
+	Admitted            int64
+	RejectedRate        int64
+	RejectedConcurrency int64
+}
+
+// Rejected sums rejections across reasons.
+func (s AdmissionStats) Rejected() int64 { return s.RejectedRate + s.RejectedConcurrency }
+
+// AdmissionStats reports the cluster's admission counters (zero without a
+// controller installed).
+func (c *Cluster) AdmissionStats() AdmissionStats {
+	st := c.adm.Stats()
+	return AdmissionStats{
+		Admitted:            st.Admitted,
+		RejectedRate:        st.RejectedRate,
+		RejectedConcurrency: st.RejectedConcurrency,
+	}
+}
+
+// AdmittedStats extends Stats with per-outcome accounting for an
+// open-loop run through the admission controller.
+type AdmittedStats struct {
+	Stats         // latency of goodput completions only
+	Offered   int // arrivals scheduled
+	Admitted  int // past the controller
+	Rejected  int // turned away with ErrOverloaded
+	Goodput   int // admitted, completed, neither failed nor deadlined
+	Deadlined int // admitted but ran out of deadline
+	Failed    int // admitted but failed inside the engine (queue shed)
+}
+
+// RunAdmitted sends n open-loop invocations at a fixed arrival rate
+// through the cluster's admission controller, each carrying the given
+// end-to-end deadline (0 = none). Rejected arrivals are counted, not
+// retried; admitted work is invoked with the deadline propagated through
+// dispatch, so queued and in-flight steps cancel once it passes.
+func (a *App) RunAdmitted(perMinute float64, n int, deadline time.Duration) AdmittedStats {
+	c := a.cluster
+	rec := &metrics.Recorder{}
+	var st AdmittedStats
+	st.Offered = n
+	interval := time.Duration(60 / perMinute * float64(time.Second))
+	for i := 0; i < n; i++ {
+		delay := time.Duration(i) * interval
+		c.tb.Env.Schedule(delay, func() {
+			release, err := c.Admit(a.dep.Bench.Name)
+			if err != nil {
+				st.Rejected++
+				return
+			}
+			st.Admitted++
+			var dl sim.Time
+			if deadline > 0 {
+				dl = c.tb.Env.Now() + sim.Time(deadline)
+			}
+			a.dep.Engine.InvokeOpts(engine.InvokeOptions{Deadline: dl}, func(r engine.Result) {
+				release()
+				switch {
+				case r.DeadlineExceeded:
+					st.Deadlined++
+				case r.Failed:
+					st.Failed++
+				default:
+					st.Goodput++
+					rec.Add(r.Latency())
+				}
+			})
+		})
+	}
+	c.tb.Env.Run()
+	st.Stats = statsOf(rec)
+	return st
+}

@@ -1,0 +1,215 @@
+// Package admission implements overload admission control for workflow
+// starts: a token-bucket rate limiter plus a concurrent-workflow cap.
+//
+// Rationale (docs/OVERLOAD.md): an open-loop arrival stream offered past
+// the cluster's saturation point piles unbounded work onto the engines and
+// per-function Acquire queues, and every latency metric collapses. The
+// controller sits at the front door — the gateway's invoke endpoint and the
+// faasflow API — and rejects the excess immediately with a typed error
+// carrying a Retry-After hint, so admitted work keeps meeting its deadline
+// (graceful degradation: goodput flat-tops instead of collapsing).
+//
+// The bucket runs on virtual time, so admission decisions are as
+// deterministic as everything else in the simulation: same arrival
+// schedule, same decisions, same snapshot bytes.
+package admission
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// ErrOverloaded is the sentinel matched by errors.Is for every admission
+// rejection. Callers branch on it; *Error carries the details.
+var ErrOverloaded = errors.New("admission: overloaded")
+
+// Error is an admission rejection: which limit fired and how long the
+// client should wait before retrying.
+type Error struct {
+	Reason     string        // "rate" | "concurrency"
+	RetryAfter time.Duration // suggested client backoff (>= 0)
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("admission: overloaded (%s limit), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// Is makes errors.Is(err, ErrOverloaded) succeed for every rejection.
+func (e *Error) Is(target error) bool { return target == ErrOverloaded }
+
+// Config fixes the controller's limits. Zero values disable the
+// corresponding limit, so Config{} admits everything.
+type Config struct {
+	// RatePerSec is the sustained workflow-admission rate. 0 disables
+	// rate limiting.
+	RatePerSec float64
+	// Burst is the token bucket capacity — how many back-to-back arrivals
+	// are admitted before the sustained rate gates. 0 defaults to
+	// max(1, RatePerSec).
+	Burst float64
+	// MaxConcurrent caps admitted workflows in flight (admitted minus
+	// released). 0 disables the cap.
+	MaxConcurrent int
+}
+
+// Validate reports configuration mistakes.
+func (c Config) Validate() error {
+	switch {
+	case c.RatePerSec < 0:
+		return fmt.Errorf("admission: RatePerSec = %v, must be >= 0", c.RatePerSec)
+	case c.Burst < 0:
+		return fmt.Errorf("admission: Burst = %v, must be >= 0", c.Burst)
+	case c.MaxConcurrent < 0:
+		return fmt.Errorf("admission: MaxConcurrent = %d, must be >= 0", c.MaxConcurrent)
+	}
+	return nil
+}
+
+// Stats aggregates the controller's lifetime counters.
+type Stats struct {
+	Admitted            int64
+	RejectedRate        int64
+	RejectedConcurrency int64
+}
+
+// Rejected sums rejections across reasons.
+func (s Stats) Rejected() int64 { return s.RejectedRate + s.RejectedConcurrency }
+
+// Controller is a deterministic admission controller on the simulation
+// clock. A nil *Controller is valid and admits everything, so call sites
+// need no gating.
+type Controller struct {
+	env *sim.Env
+	cfg Config
+	bus *obs.Bus
+
+	tokens float64
+	last   sim.Time
+	live   int
+	stats  Stats
+}
+
+// New builds a controller. The bucket starts full.
+func New(env *sim.Env, cfg Config) (*Controller, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Burst == 0 && cfg.RatePerSec > 0 {
+		cfg.Burst = cfg.RatePerSec
+		if cfg.Burst < 1 {
+			cfg.Burst = 1
+		}
+	}
+	return &Controller{env: env, cfg: cfg, tokens: cfg.Burst, last: env.Now()}, nil
+}
+
+// SetBus attaches (or detaches, with nil) an observability bus; every
+// decision publishes an AdmissionEvent.
+func (a *Controller) SetBus(b *obs.Bus) {
+	if a != nil {
+		a.bus = b
+	}
+}
+
+// refill accrues tokens for the virtual time elapsed since the last
+// decision, capped at the burst size.
+func (a *Controller) refill() {
+	now := a.env.Now()
+	if now > a.last {
+		a.tokens += (now - a.last).Duration().Seconds() * a.cfg.RatePerSec
+		if a.tokens > a.cfg.Burst {
+			a.tokens = a.cfg.Burst
+		}
+	}
+	a.last = now
+}
+
+// Admit decides one workflow start for workflow (a label for metrics, not
+// an identity). On success it consumes a token and a concurrency slot —
+// the caller must pair it with Release when the workflow finishes. On
+// overload it returns an *Error matching ErrOverloaded.
+func (a *Controller) Admit(workflow string) error {
+	if a == nil {
+		return nil
+	}
+	if a.cfg.MaxConcurrent > 0 && a.live >= a.cfg.MaxConcurrent {
+		a.stats.RejectedConcurrency++
+		err := &Error{Reason: "concurrency", RetryAfter: a.concurrencyRetry()}
+		a.pub(workflow, false, err.Reason, err.RetryAfter)
+		return err
+	}
+	if a.cfg.RatePerSec > 0 {
+		a.refill()
+		if a.tokens < 1 {
+			a.stats.RejectedRate++
+			deficit := (1 - a.tokens) / a.cfg.RatePerSec
+			retry := time.Duration(deficit * float64(time.Second))
+			if retry < time.Millisecond {
+				retry = time.Millisecond
+			}
+			err := &Error{Reason: "rate", RetryAfter: retry}
+			a.pub(workflow, false, err.Reason, err.RetryAfter)
+			return err
+		}
+		a.tokens--
+	}
+	a.live++
+	a.stats.Admitted++
+	a.pub(workflow, true, "ok", 0)
+	return nil
+}
+
+// concurrencyRetry suggests a backoff for concurrency rejections: the
+// bucket's token period when rate limiting is on, else a fixed second —
+// the controller cannot know when a slot frees.
+func (a *Controller) concurrencyRetry() time.Duration {
+	if a.cfg.RatePerSec > 0 {
+		return time.Duration(float64(time.Second) / a.cfg.RatePerSec)
+	}
+	return time.Second
+}
+
+// Release returns the concurrency slot taken by a successful Admit.
+func (a *Controller) Release() {
+	if a == nil {
+		return
+	}
+	if a.live <= 0 {
+		panic("admission: Release without matching Admit")
+	}
+	a.live--
+}
+
+// Live reports admitted workflows currently in flight.
+func (a *Controller) Live() int {
+	if a == nil {
+		return 0
+	}
+	return a.live
+}
+
+// Stats returns a snapshot of lifetime counters.
+func (a *Controller) Stats() Stats {
+	if a == nil {
+		return Stats{}
+	}
+	return a.stats
+}
+
+func (a *Controller) pub(workflow string, admitted bool, reason string, retry time.Duration) {
+	if !a.bus.Active() {
+		return
+	}
+	a.bus.Publish(obs.AdmissionEvent{
+		Workflow:   workflow,
+		Admitted:   admitted,
+		Reason:     reason,
+		Live:       a.live,
+		RetryAfter: retry,
+		At:         a.env.Now(),
+	})
+}

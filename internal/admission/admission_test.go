@@ -1,0 +1,129 @@
+package admission
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+func TestNilControllerAdmitsEverything(t *testing.T) {
+	var a *Controller
+	if err := a.Admit("wf"); err != nil {
+		t.Fatalf("nil controller rejected: %v", err)
+	}
+	a.Release()
+	if a.Live() != 0 || a.Stats() != (Stats{}) {
+		t.Fatalf("nil controller has state: live=%d stats=%+v", a.Live(), a.Stats())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{
+		{RatePerSec: -1},
+		{Burst: -1},
+		{MaxConcurrent: -1},
+	} {
+		if _, err := New(sim.NewEnv(), cfg); err == nil {
+			t.Errorf("New(%+v) accepted invalid config", cfg)
+		}
+	}
+}
+
+func TestTokenBucket(t *testing.T) {
+	env := sim.NewEnv()
+	a, err := New(env, Config{RatePerSec: 2, Burst: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burst of 3 admits back-to-back, then the bucket is dry.
+	for i := 0; i < 3; i++ {
+		if err := a.Admit("wf"); err != nil {
+			t.Fatalf("burst admit %d rejected: %v", i, err)
+		}
+	}
+	err = a.Admit("wf")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("dry bucket admitted (err=%v)", err)
+	}
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Reason != "rate" {
+		t.Fatalf("rejection = %#v, want *Error with rate reason", err)
+	}
+	if aerr.RetryAfter <= 0 || aerr.RetryAfter > time.Second {
+		t.Fatalf("RetryAfter = %v, want within one token period (500ms)", aerr.RetryAfter)
+	}
+	// One second at 2 tokens/sec refills two admissions.
+	env.Schedule(time.Second, func() {})
+	env.Run()
+	for i := 0; i < 2; i++ {
+		if err := a.Admit("wf"); err != nil {
+			t.Fatalf("post-refill admit %d rejected: %v", i, err)
+		}
+	}
+	if err := a.Admit("wf"); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-refill admit succeeded (err=%v)", err)
+	}
+	st := a.Stats()
+	if st.Admitted != 5 || st.RejectedRate != 2 || st.RejectedConcurrency != 0 {
+		t.Fatalf("stats = %+v, want 5 admitted / 2 rate-rejected", st)
+	}
+}
+
+func TestConcurrencyCap(t *testing.T) {
+	env := sim.NewEnv()
+	a, err := New(env, Config{MaxConcurrent: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit("wf"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Admit("wf"); err != nil {
+		t.Fatal(err)
+	}
+	err = a.Admit("wf")
+	if !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("over-cap admit succeeded (err=%v)", err)
+	}
+	var aerr *Error
+	if !errors.As(err, &aerr) || aerr.Reason != "concurrency" {
+		t.Fatalf("rejection = %#v, want concurrency reason", err)
+	}
+	a.Release()
+	if err := a.Admit("wf"); err != nil {
+		t.Fatalf("post-release admit rejected: %v", err)
+	}
+	if a.Live() != 2 {
+		t.Fatalf("Live = %d, want 2", a.Live())
+	}
+}
+
+func TestAdmissionEvents(t *testing.T) {
+	env := sim.NewEnv()
+	a, err := New(env, Config{MaxConcurrent: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := obs.NewBus()
+	var got []obs.AdmissionEvent
+	bus.Subscribe(func(ev obs.Event) {
+		if e, ok := ev.(obs.AdmissionEvent); ok {
+			got = append(got, e)
+		}
+	})
+	a.SetBus(bus)
+	_ = a.Admit("wf")
+	_ = a.Admit("wf")
+	if len(got) != 2 {
+		t.Fatalf("got %d admission events, want 2", len(got))
+	}
+	if !got[0].Admitted || got[0].Reason != "ok" || got[0].Live != 1 {
+		t.Fatalf("first event = %+v, want admitted ok live=1", got[0])
+	}
+	if got[1].Admitted || got[1].Reason != "concurrency" || got[1].RetryAfter <= 0 {
+		t.Fatalf("second event = %+v, want concurrency rejection with RetryAfter", got[1])
+	}
+}

@@ -12,12 +12,26 @@
 package cluster
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
 	"repro/internal/obs"
 	"repro/internal/sim"
+)
+
+// Acquisition failure causes, reported through AcquireOpts' callback.
+var (
+	// ErrQueueFull is a fast-fail: the per-function waiting queue was at
+	// Config.MaxQueueDepth, so the request was shed instead of queued.
+	ErrQueueFull = errors.New("cluster: acquire queue full")
+	// ErrDeadline is a queued acquisition withdrawn because its deadline
+	// passed before a container freed up.
+	ErrDeadline = errors.New("cluster: acquire deadline exceeded")
+	// ErrNodeDown is an acquisition aborted by a node failure (or issued
+	// against a node already down).
+	ErrNodeDown = errors.New("cluster: node down")
 )
 
 // Config fixes a node's hardware and container policy. The defaults mirror
@@ -29,6 +43,12 @@ type Config struct {
 	ColdStart    time.Duration // container cold-start latency
 	KeepAlive    time.Duration // idle container lifetime
 	PerFnLimit   int           // max containers per function on this node
+
+	// MaxQueueDepth bounds the per-function Acquire waiting queue: a
+	// request that would leave more than MaxQueueDepth waiters standing is
+	// shed with ErrQueueFull instead of queueing unboundedly. 0 keeps the
+	// historical unbounded FIFO.
+	MaxQueueDepth int
 }
 
 // DefaultConfig returns the paper's worker configuration: 8 cores, 32 GB
@@ -58,6 +78,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("cluster: container memory %d exceeds DRAM %d", c.ContainerMem, c.DRAM)
 	case c.PerFnLimit <= 0:
 		return fmt.Errorf("cluster: PerFnLimit = %d, must be positive", c.PerFnLimit)
+	case c.MaxQueueDepth < 0:
+		return fmt.Errorf("cluster: MaxQueueDepth = %d, must be >= 0", c.MaxQueueDepth)
 	}
 	return nil
 }
@@ -155,17 +177,36 @@ type NodeStats struct {
 	WarmReuses     int64
 	Evictions      int64
 	QueuedWaits    int64
-	Failures       int64         // Fail() calls (node crashes)
+	Shed           int64 // acquisitions fast-failed by MaxQueueDepth
+	DeadlineAborts int64 // queued acquisitions withdrawn at their deadline
+	Failures       int64 // Fail() calls (node crashes)
 	CPUBusy        time.Duration // integrated core-busy time
 	PeakMem        int64
 	PeakConcurrent int
+}
+
+// waiter is one queued acquisition: its completion callback plus the
+// deadline expiry event that withdraws it from the queue (nil when the
+// request has no deadline).
+type waiter struct {
+	ready  func(c *Container, cold bool, err error)
+	expire *sim.Event
+}
+
+// serve cancels the pending expiry (the waiter is being handed a
+// container, or aborted through another path) before completion fires.
+func (w *waiter) serve() {
+	if w.expire != nil {
+		w.expire.Cancel()
+		w.expire = nil
+	}
 }
 
 type fnPool struct {
 	warm    []*Container
 	total   int // warm + busy containers for this function
 	peak    int
-	waiting []func(*Container, bool)
+	waiting []*waiter
 	nextID  int
 }
 
@@ -217,6 +258,27 @@ func (n *Node) WarmContainers(fn string) int {
 		return len(p.warm)
 	}
 	return 0
+}
+
+// QueuedAcquires reports acquisitions waiting across all function pools.
+// After a workflow drains (completes, fails, or deadlines out) this must
+// return to zero — the leak check behind the overload experiments.
+func (n *Node) QueuedAcquires() int {
+	total := 0
+	for _, p := range n.pools {
+		total += len(p.waiting)
+	}
+	return total
+}
+
+// BusyContainers reports live containers currently held by callers (live
+// minus idle-warm). Drained workflows must leave zero.
+func (n *Node) BusyContainers() int {
+	busy := n.containers
+	for _, p := range n.pools {
+		busy -= len(p.warm)
+	}
+	return busy
 }
 
 // ScaleOf reports the current and peak container count for a function —
@@ -271,13 +333,50 @@ func (n *Node) Reclaimed() int64 { return n.reclaimed }
 //
 // If the node fails (Fail) before the request is served — or has already
 // failed — ready is called with a nil container; callers must treat that as
-// an aborted acquisition and recover elsewhere.
+// an aborted acquisition and recover elsewhere. Acquire ignores
+// Config.MaxQueueDepth and deadlines; AcquireOpts is the bounded variant.
 func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 	if ready == nil {
 		panic("cluster: Acquire with nil callback")
 	}
+	n.acquire(fn, AcquireOptions{unbounded: true}, func(c *Container, cold bool, err error) {
+		ready(c, cold)
+	})
+}
+
+// AcquireOptions tunes one AcquireOpts request.
+type AcquireOptions struct {
+	// Deadline is the absolute virtual instant after which the request no
+	// longer wants a container: a request still queued then is withdrawn
+	// with ErrDeadline (a request whose deadline already passed fails
+	// immediately). 0 = no deadline.
+	Deadline sim.Time
+
+	// unbounded marks legacy Acquire calls, which predate MaxQueueDepth
+	// and keep the historical never-shed semantics.
+	unbounded bool
+}
+
+// AcquireOpts is Acquire with overload controls: the request is shed with
+// ErrQueueFull when the function's waiting queue is at Config.MaxQueueDepth,
+// withdrawn with ErrDeadline when still queued at opts.Deadline, and aborted
+// with ErrNodeDown by node failure. On success err is nil and c non-nil.
+func (n *Node) AcquireOpts(fn string, opts AcquireOptions, ready func(c *Container, cold bool, err error)) {
+	if ready == nil {
+		panic("cluster: AcquireOpts with nil callback")
+	}
+	n.acquire(fn, opts, ready)
+}
+
+func (n *Node) acquire(fn string, opts AcquireOptions, ready func(c *Container, cold bool, err error)) {
 	if n.failed {
-		n.env.Schedule(0, func() { ready(nil, false) })
+		n.env.Schedule(0, func() { ready(nil, false, ErrNodeDown) })
+		return
+	}
+	if opts.Deadline > 0 && n.env.Now() >= opts.Deadline {
+		n.stats.DeadlineAborts++
+		n.pubContainer(fn, obs.ContainerDeadline)
+		n.env.Schedule(0, func() { ready(nil, false, ErrDeadline) })
 		return
 	}
 	p := n.pools[fn]
@@ -285,13 +384,45 @@ func (n *Node) Acquire(fn string, ready func(c *Container, cold bool)) {
 		p = &fnPool{}
 		n.pools[fn] = p
 	}
-	p.waiting = append(p.waiting, ready)
+	w := &waiter{ready: ready}
+	p.waiting = append(p.waiting, w)
 	n.pump(fn, p)
 	// pump serves FIFO from the front, so if anything is still queued our
 	// request (appended last) is among it.
-	if len(p.waiting) > 0 {
-		n.stats.QueuedWaits++
-		n.pubContainer(fn, obs.ContainerQueued)
+	if len(p.waiting) == 0 {
+		return
+	}
+	if !opts.unbounded && n.cfg.MaxQueueDepth > 0 && len(p.waiting) > n.cfg.MaxQueueDepth {
+		// Backpressure: shedding the newcomer (ourselves, at the tail)
+		// keeps FIFO order for everyone already standing.
+		p.waiting = p.waiting[:len(p.waiting)-1]
+		n.stats.Shed++
+		n.pubContainer(fn, obs.ContainerShed)
+		n.env.Schedule(0, func() { ready(nil, false, ErrQueueFull) })
+		return
+	}
+	n.stats.QueuedWaits++
+	n.pubContainer(fn, obs.ContainerQueued)
+	if opts.Deadline > 0 {
+		w.expire = n.env.At(opts.Deadline, func() { n.expireWaiter(fn, w) })
+	}
+}
+
+// expireWaiter withdraws a still-queued acquisition at its deadline.
+func (n *Node) expireWaiter(fn string, w *waiter) {
+	p := n.pools[fn]
+	if p == nil {
+		return
+	}
+	for i, x := range p.waiting {
+		if x == w {
+			p.waiting = append(p.waiting[:i], p.waiting[i+1:]...)
+			w.expire = nil
+			n.stats.DeadlineAborts++
+			n.pubContainer(fn, obs.ContainerDeadline)
+			w.ready(nil, false, ErrDeadline)
+			return
+		}
 	}
 }
 
@@ -311,17 +442,19 @@ func (n *Node) pump(fn string, p *fnPool) {
 				c.expiry.Cancel()
 				c.expiry = nil
 			}
-			ready := p.waiting[0]
+			w := p.waiting[0]
 			p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+			w.serve()
 			n.stats.WarmReuses++
 			n.pubContainer(fn, obs.ContainerWarmReuse)
-			n.env.Schedule(0, func() { ready(c, false) })
+			n.env.Schedule(0, func() { w.ready(c, false, nil) })
 			continue
 		}
 		// Room to create a new container?
 		if p.total < n.cfg.PerFnLimit && n.memUsed+n.cfg.ContainerMem+n.reclaimed <= n.cfg.DRAM {
-			ready := p.waiting[0]
+			w := p.waiting[0]
 			p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+			w.serve()
 			p.total++
 			if p.total > p.peak {
 				p.peak = p.total
@@ -336,7 +469,7 @@ func (n *Node) pump(fn string, p *fnPool) {
 			c := &Container{Fn: fn, Node: n, id: p.nextID}
 			p.nextID++
 			n.live[c] = struct{}{}
-			n.env.Schedule(n.cfg.ColdStart, func() { ready(c, true) })
+			n.env.Schedule(n.cfg.ColdStart, func() { w.ready(c, true, nil) })
 			continue
 		}
 		return // saturated: wait for a release, destroy, or reclaim return
@@ -405,7 +538,8 @@ func (n *Node) Release(c *Container) {
 	if len(p.waiting) > 0 {
 		next := p.waiting[0]
 		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
-		n.env.Schedule(0, func() { next(c, false) })
+		next.serve()
+		n.env.Schedule(0, func() { next.ready(c, false, nil) })
 		n.stats.WarmReuses++
 		n.pubContainer(c.Fn, obs.ContainerWarmReuse)
 		return
@@ -516,9 +650,10 @@ func (n *Node) Fail() {
 		if lost > 0 {
 			n.pubContainer(fn, obs.ContainerDestroyed)
 		}
-		for _, ready := range waiters {
-			ready := ready
-			n.env.Schedule(0, func() { ready(nil, false) })
+		for _, w := range waiters {
+			w := w
+			w.serve()
+			n.env.Schedule(0, func() { w.ready(nil, false, ErrNodeDown) })
 		}
 	}
 	if hadTasks {

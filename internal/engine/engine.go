@@ -240,13 +240,15 @@ type Deployment struct {
 	// condition (not in this map) is the default branch.
 	conds        map[int]*expr.Expr
 	switchNode   map[dag.NodeID]bool
-	condErrors   int64
-	crashCount   int64
-	retryCount   int64
-	timeoutCount int64
-	reissueCount int64
-	replaceCount int64
-	failedInv    int64
+	condErrors    int64
+	crashCount    int64
+	retryCount    int64
+	timeoutCount  int64
+	reissueCount  int64
+	replaceCount  int64
+	failedInv     int64
+	deadlineCount int64
+	shedCount     int64
 	nodeOrder    []string // sorted runtime node IDs, for deterministic re-placement
 
 	master  *proc
@@ -434,6 +436,10 @@ type Result struct {
 	// Failed reports that at least one executor exhausted its retry
 	// budget; downstream work was drained rather than executed.
 	Failed bool
+	// DeadlineExceeded reports that the invocation's deadline passed while
+	// work remained: the rest of the graph was drained without running.
+	// Implies Failed.
+	DeadlineExceeded bool
 }
 
 // Latency reports the end-to-end invocation latency.
@@ -450,7 +456,9 @@ type invocation struct {
 	ownPlace  bool
 	start     sim.Time
 	args      expr.Env
+	deadline  sim.Time // absolute; 0 = none
 	failed    bool
+	deadlined bool
 	predsDone []int
 	realIn    []int // non-skipped predecessor completions
 	started   []bool
@@ -528,12 +536,30 @@ func (d *Deployment) Invoke(done func(Result)) {
 // evaluate their branch conditions against them and run only the matching
 // branch. With nil args every branch runs.
 func (d *Deployment) InvokeArgs(args map[string]any, done func(Result)) {
+	d.InvokeOpts(InvokeOptions{Args: args}, done)
+}
+
+// InvokeOptions tunes one invocation.
+type InvokeOptions struct {
+	// Args are the invocation's input arguments (see InvokeArgs).
+	Args map[string]any
+	// Deadline is the absolute virtual instant after which the invocation's
+	// remaining work is cancelled: untriggered steps drain as skips, queued
+	// container acquisitions are withdrawn, and in-flight executors abandon
+	// at the next phase boundary — no zombie work consumes containers after
+	// the client has given up. The invocation still completes (promptly),
+	// with Failed and DeadlineExceeded set. 0 = no deadline.
+	Deadline sim.Time
+}
+
+// InvokeOpts starts an invocation with per-invocation options.
+func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
 	if done == nil {
 		done = func(Result) {}
 	}
 	var env expr.Env
-	if args != nil {
-		env = expr.Env(args)
+	if opts.Args != nil {
+		env = expr.Env(opts.Args)
 	}
 	inv := &invocation{
 		id:        d.nextInv,
@@ -541,6 +567,7 @@ func (d *Deployment) InvokeArgs(args map[string]any, done func(Result)) {
 		place:     d.place,
 		start:     d.rt.Env.Now(),
 		args:      env,
+		deadline:  opts.Deadline,
 		predsDone: make([]int, d.g.Len()),
 		realIn:    make([]int, d.g.Len()),
 		started:   make([]bool, d.g.Len()),
@@ -577,8 +604,36 @@ func (d *Deployment) finishInvocation(inv *invocation) {
 		d.failedInv++
 	}
 	d.pubInvocation(inv, true)
-	inv.done(Result{ID: inv.id, Start: inv.start, End: d.rt.Env.Now(), Version: inv.version, Failed: inv.failed})
+	inv.done(Result{
+		ID:               inv.id,
+		Start:            inv.start,
+		End:              d.rt.Env.Now(),
+		Version:          inv.version,
+		Failed:           inv.failed,
+		DeadlineExceeded: inv.deadlined,
+	})
 }
+
+// deadlineExceeded reports whether inv carries a deadline that has passed.
+func (d *Deployment) deadlineExceeded(inv *invocation) bool {
+	return inv.deadline > 0 && d.rt.Env.Now() >= inv.deadline
+}
+
+// failDeadline marks inv dead-on-deadline at step id (-1 = invocation
+// level), counting and publishing the abandonment. The caller then drains
+// the step like a skip, so the workflow completes instead of hanging.
+func (d *Deployment) failDeadline(inv *invocation, id dag.NodeID, where string) {
+	inv.failed = true
+	inv.deadlined = true
+	d.deadlineCount++
+	d.pubDeadline(inv, id, where)
+}
+
+// DeadlineExceededCount reports deadline abandonments so far.
+func (d *Deployment) DeadlineExceededCount() int64 { return d.deadlineCount }
+
+// LiveNow reports invocations currently in flight across all versions.
+func (d *Deployment) LiveNow() int { return d.liveNow }
 
 // ---------------------------------------------------------------------------
 // Task body shared by both patterns: container acquire → input fetch →
@@ -641,6 +696,8 @@ type FailureStats struct {
 	Reissues          int64 // fault-driven re-issues (timeouts + node deaths)
 	Replacements      int64 // tasks re-placed off dead nodes
 	FailedInvocations int64 // invocations that completed with Failed set
+	DeadlineExceeded  int64 // work abandoned at the invocation deadline
+	Shed              int64 // executor acquisitions rejected by bounded queues
 }
 
 // FailureStatsSnapshot reports current failure/recovery counters.
@@ -652,6 +709,8 @@ func (d *Deployment) FailureStatsSnapshot() FailureStats {
 		Reissues:          d.reissueCount,
 		Replacements:      d.replaceCount,
 		FailedInvocations: d.failedInv,
+		DeadlineExceeded:  d.deadlineCount,
+		Shed:              d.shedCount,
 	}
 }
 
@@ -668,7 +727,9 @@ func (d *Deployment) fetchInputs(inv *invocation, id dag.NodeID, workerID string
 	i, rep := 0, 0
 	var step func()
 	step = func() {
-		if i == len(ins) {
+		// A dead deadline stops issuing further input fetches; the caller's
+		// post-fetch deadline check abandons the attempt.
+		if i == len(ins) || d.deadlineExceeded(inv) {
 			next()
 			return
 		}
@@ -679,7 +740,10 @@ func (d *Deployment) fetchInputs(inv *invocation, id dag.NodeID, workerID string
 			i++
 			rep = 0
 		}
-		d.rt.Store.Get(workerID, k, func(int64, bool) { step() })
+		// Breaker fast-fails and misses alike continue the chain: a missing
+		// input is the modeled runtime's problem, not the scheduler's, and
+		// the fast-fail already bought the latency win.
+		d.rt.Store.Get(workerID, k, func(int64, bool, error) { step() })
 	}
 	step()
 }
@@ -696,7 +760,9 @@ func (d *Deployment) storeOutputs(inv *invocation, id dag.NodeID, replica int, w
 	i := 0
 	var step func()
 	step = func() {
-		if i == len(outs) {
+		// A dead deadline stops issuing further output puts; downstream
+		// consumers drain as skips and never read the missing keys.
+		if i == len(outs) || d.deadlineExceeded(inv) {
 			next()
 			return
 		}
@@ -708,7 +774,7 @@ func (d *Deployment) storeOutputs(inv *invocation, id dag.NodeID, replica int, w
 		}
 		k := d.key(inv, out.edgeIdx, replica)
 		inv.keys = append(inv.keys, k)
-		d.rt.Store.Put(workerID, k, out.bytes, consumers, func(store.Location) { step() })
+		d.rt.Store.Put(workerID, k, out.bytes, consumers, func(store.Location, error) { step() })
 	}
 	step()
 }

@@ -52,6 +52,17 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 		})
 		return
 	}
+	if d.deadlineExceeded(inv) {
+		// Dead on assignment: the master drains the node as a skip instead
+		// of marshalling it — downstream cancels through the skip wave.
+		d.failDeadline(inv, id, "trigger")
+		d.publishChain(inv, from, int(id), pre)
+		var enq, st, done sim.Time
+		enq, st, done = d.master.process(func() {
+			d.mspComplete(inv, id, true, d.chainProc(nil, enq, st, done))
+		})
+		return
+	}
 	w := inv.place[id]
 	// Marshalling the task into an assignment is itself a serialized slot
 	// of the master's event loop.

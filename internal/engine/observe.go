@@ -87,6 +87,27 @@ func (d *Deployment) pubStep(inv *invocation, id dag.NodeID, state obs.StepState
 	})
 }
 
+// pubDeadline emits a deadline-abandonment event (id -1 = invocation
+// level, e.g. admission-side cancellation before any step).
+func (d *Deployment) pubDeadline(inv *invocation, id dag.NodeID, where string) {
+	if !d.obs.Active() {
+		return
+	}
+	node, name := -1, ""
+	if id >= 0 {
+		node, name = int(id), d.g.Node(id).Name
+	}
+	d.obs.Publish(obs.DeadlineEvent{
+		Workflow: d.bench.Name,
+		Inv:      inv.id,
+		Node:     node,
+		Name:     name,
+		Where:    where,
+		Deadline: inv.deadline,
+		At:       d.rt.Env.Now(),
+	})
+}
+
 // pubInvocation emits an invocation boundary event.
 func (d *Deployment) pubInvocation(inv *invocation, end bool) {
 	if !d.obs.Active() {

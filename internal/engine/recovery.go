@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"errors"
 	"time"
 
 	"repro/internal/cluster"
@@ -40,6 +41,16 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 	mySeq := st.seq
 	attemptStart := d.rt.Env.Now()
 
+	if d.deadlineExceeded(inv) {
+		// The invocation's deadline died before this attempt started (e.g.
+		// a crash-retry backoff outlived it): abandon without dispatching.
+		st.finished = true
+		d.failDeadline(inv, id, "dispatch")
+		d.pubStep(inv, id, obs.StepFailed)
+		onDone(true)
+		return
+	}
+
 	if w.Failed() {
 		// The target died between the trigger and this attempt; recover
 		// immediately rather than waiting out the timeout.
@@ -73,15 +84,45 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 		exec *= execJitter(inv.id, id+dag.NodeID(replica)<<16)
 	}
 
+	// abortDeadline abandons the attempt at a phase boundary once the
+	// invocation deadline is dead: the container is returned immediately
+	// (no zombie work) and the step drains as a failure.
+	abortDeadline := func(c *cluster.Container, where string) {
+		cancelTimeout()
+		st.finished = true
+		if c != nil {
+			w.Release(c)
+		}
+		d.failDeadline(inv, id, where)
+		d.pubStep(inv, id, obs.StepFailed)
+		onDone(true)
+	}
+
 	acquireStart := d.rt.Env.Now()
-	w.Acquire(node.Function, func(c *cluster.Container, cold bool) {
+	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, func(c *cluster.Container, cold bool, err error) {
 		if stale() {
 			if c != nil {
 				w.Release(c)
 			}
 			return
 		}
-		if c == nil {
+		switch {
+		case errors.Is(err, cluster.ErrDeadline):
+			// The deadline expired while this request sat in the acquire
+			// queue; the waiter was already withdrawn node-side.
+			abortDeadline(nil, "acquire")
+			return
+		case errors.Is(err, cluster.ErrQueueFull):
+			// Backpressure shed the request; fail the step so the workflow
+			// drains quickly instead of piling more work on the node.
+			cancelTimeout()
+			st.finished = true
+			inv.failed = true
+			d.shedCount++
+			d.pubStep(inv, id, obs.StepFailed)
+			onDone(true)
+			return
+		case err != nil:
 			// The node failed while this request sat in the acquire queue.
 			cancelTimeout()
 			d.recoverExecutor(inv, id, replica, attempt, reissue, st, attemptStart, "node-down", onDone)
@@ -94,11 +135,19 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 				w.Release(c)
 				return
 			}
+			if d.deadlineExceeded(inv) {
+				abortDeadline(c, "fetch")
+				return
+			}
 			d.span(inv, id, replica, "fetch", fetchStart)
 			execStart := d.rt.Env.Now()
 			w.Exec(exec, func() {
 				if stale() {
 					w.Release(c)
+					return
+				}
+				if d.deadlineExceeded(inv) {
+					abortDeadline(c, "exec")
 					return
 				}
 				d.span(inv, id, replica, "exec", execStart)

@@ -52,6 +52,13 @@ func (d *Deployment) wspTrigger(inv *invocation, id dag.NodeID, from int, pre []
 		}
 		inv.started[id] = true
 		d.publishChain(inv, from, int(id), d.chainProc(pre, enq, st, done))
+		if d.deadlineExceeded(inv) {
+			// Dead on arrival: drain as a skip instead of running — no
+			// container is acquired, and the skip wave cancels downstream.
+			d.failDeadline(inv, id, "trigger")
+			d.wspComplete(inv, id, true)
+			return
+		}
 		d.pubStep(inv, id, obs.StepTriggered)
 		d.runTask(inv, id, func(failed bool) { d.wspComplete(inv, id, failed) })
 	})
@@ -117,6 +124,11 @@ func (d *Deployment) wspStateArrive(inv *invocation, succ dag.NodeID, skip bool,
 			d.publishChain(inv, from, int(succ), d.chainProc(pre, enq, st, done))
 			if inv.realIn[succ] == 0 {
 				// Entirely skipped: forward the skip without executing.
+				d.wspComplete(inv, succ, true)
+				return
+			}
+			if d.deadlineExceeded(inv) {
+				d.failDeadline(inv, succ, "trigger")
 				d.wspComplete(inv, succ, true)
 				return
 			}

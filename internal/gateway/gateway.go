@@ -6,6 +6,7 @@
 //	GET  /workflows            list deployed workflows
 //	GET  /workflows/{name}     placement, groups, locality
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
+//	                           (429 + Retry-After when admission rejects)
 //	GET  /workflows/{name}/trace   Chrome trace of observed invocations
 //	GET  /workflows/{name}/bottlenecks  critical path joined with saturation
 //	GET  /benchmarks           the built-in paper workloads
@@ -20,9 +21,11 @@ package gateway
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -47,6 +50,16 @@ type Config struct {
 	FaaStore           bool
 	MasterSP           bool // run the HyperFlow-serverless baseline pattern
 	Seed               uint64
+	// Admission installs front-door overload control: invoke requests past
+	// the rate limit or concurrency cap get HTTP 429 with a Retry-After
+	// hint instead of queueing. Zero limits admit everything.
+	AdmissionRatePerSec    float64
+	AdmissionBurst         float64
+	AdmissionMaxConcurrent int
+}
+
+func (c Config) admissionEnabled() bool {
+	return c.AdmissionRatePerSec > 0 || c.AdmissionMaxConcurrent > 0
 }
 
 // New builds a server with a fresh cluster.
@@ -64,6 +77,17 @@ func New(cfg Config) *Server {
 		mode = faasflow.MasterSP
 	}
 	cluster := faasflow.NewCluster(opts...)
+	if cfg.admissionEnabled() {
+		// Config fields are non-negative limits; SetAdmission only errors on
+		// negatives, so this cannot fail here — but keep the check honest.
+		if err := cluster.SetAdmission(faasflow.AdmissionConfig{
+			RatePerSec:    cfg.AdmissionRatePerSec,
+			Burst:         cfg.AdmissionBurst,
+			MaxConcurrent: cfg.AdmissionMaxConcurrent,
+		}); err != nil {
+			panic(fmt.Sprintf("gateway: invalid admission config: %v", err))
+		}
+	}
 	observer := faasflow.NewObserver()
 	cluster.AttachObserver(observer)
 	return &Server{
@@ -252,6 +276,20 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			fail(w, &httpError{http.StatusBadRequest, "n too large"})
 			return
 		}
+		// Admission gates the HTTP request as one workflow session: rejected
+		// requests get 429 + Retry-After without touching the simulation.
+		release, err := s.cluster.Admit(name)
+		if err != nil {
+			var oe *faasflow.OverloadError
+			if errors.As(err, &oe) {
+				w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+				fail(w, &httpError{http.StatusTooManyRequests, oe.Error()})
+				return
+			}
+			fail(w, err)
+			return
+		}
+		defer release()
 		var stats faasflow.Stats
 		switch {
 		case req.RatePerMinute > 0:
@@ -389,3 +427,13 @@ func (s *Server) handleUtilization(w http.ResponseWriter, r *http.Request) {
 }
 
 func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+// retryAfterSeconds renders a Retry-After header value: whole seconds,
+// rounded up, at least 1 (RFC 7231 allows only integral seconds).
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}

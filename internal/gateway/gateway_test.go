@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"regexp"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -389,5 +390,86 @@ func TestWorkflowTraceEndpoint(t *testing.T) {
 	}
 	if errBody["error"] == "" {
 		t.Fatal("404 body has no error message")
+	}
+}
+
+// newThrottledServer builds a gateway whose admission bucket holds exactly
+// one token and refills too slowly (on the virtual clock) to matter: the
+// first invoke is admitted, every later one is turned away.
+func newThrottledServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(New(Config{
+		Workers:             3,
+		FaaStore:            true,
+		Seed:                1,
+		AdmissionRatePerSec: 1e-9,
+	}).Handler())
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestInvokeOverloadReturns429(t *testing.T) {
+	srv := newThrottledServer(t)
+	deployETL(t, srv)
+
+	var stats invokeResponse
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke",
+		map[string]any{"n": 2}, &stats); code != 200 {
+		t.Fatalf("first invoke status = %d, want 200", code)
+	}
+
+	resp, err := http.Post(srv.URL+"/workflows/etl/invoke", "application/json",
+		bytes.NewBufferString(`{"n":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second invoke status = %d, want 429", resp.StatusCode)
+	}
+	retry := resp.Header.Get("Retry-After")
+	if retry == "" {
+		t.Fatal("429 without Retry-After header")
+	}
+	if secs, err := strconv.Atoi(retry); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want integral seconds >= 1", retry)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(body["error"], "overloaded") {
+		t.Fatalf("429 body = %v", body)
+	}
+
+	// The rejection is visible to scrapers: GET /metrics carries the
+	// admission counter with decision="rejected".
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	text, err := io.ReadAll(mresp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`faasflow_admission_total{workflow="etl",decision="admitted",reason="ok"} 1`,
+		`faasflow_admission_total{workflow="etl",decision="rejected",reason="rate"} 1`,
+	} {
+		if !strings.Contains(string(text), want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
+func TestInvokeWithoutAdmissionNever429s(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	for i := 0; i < 3; i++ {
+		if code := doJSON(t, http.MethodPost, srv.URL+"/workflows/etl/invoke",
+			map[string]any{"n": 1}, nil); code != 200 {
+			t.Fatalf("invoke %d status = %d with admission disabled", i, code)
+		}
 	}
 }

@@ -40,6 +40,19 @@ type Options struct {
 	MaxAttempts int
 }
 
+// Validate rejects nonsensical options: the zero value of each field means
+// "default", but negatives are programming errors, not requests for
+// unlimited.
+func (o Options) Validate() error {
+	if o.Parallelism < 0 {
+		return fmt.Errorf("live: Parallelism = %d, must be >= 0", o.Parallelism)
+	}
+	if o.MaxAttempts < 0 {
+		return fmt.Errorf("live: MaxAttempts = %d, must be >= 0", o.MaxAttempts)
+	}
+	return nil
+}
+
 // Runner executes one workflow graph with a handler per function name.
 type Runner struct {
 	g        *dag.Graph
@@ -59,7 +72,10 @@ func New(g *dag.Graph, handlers map[string]Handler, opts Options) (*Runner, erro
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	if opts.MaxAttempts <= 0 {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxAttempts == 0 {
 		opts.MaxAttempts = 1
 	}
 	for _, n := range g.Nodes() {

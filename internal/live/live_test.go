@@ -370,3 +370,90 @@ func TestPaperBenchmarkGraphRunsLive(t *testing.T) {
 		t.Fatalf("ran %d handlers, want 17", got)
 	}
 }
+
+// TestCancelDoesNotStartQueuedHandlers pins the backpressure contract: once
+// the context is cancelled, replicas still waiting on the parallelism
+// semaphore must return without ever invoking their handler, and Run must
+// unblock promptly instead of draining the queue.
+func TestCancelDoesNotStartQueuedHandlers(t *testing.T) {
+	g := dag.New("queued")
+	for i := 0; i < 6; i++ {
+		g.AddTask(fmt.Sprintf("t%d", i), "f")
+	}
+	started := make(chan struct{}, 8)
+	var launched int32
+	handlers := map[string]Handler{"f": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+		atomic.AddInt32(&launched, 1)
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	r, err := New(g, handlers, Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.Run(ctx)
+		done <- err
+	}()
+	<-started // exactly one handler holds the semaphore slot
+	cancel()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled run reported success")
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not unblock after cancel (queued replicas hung)")
+	}
+	if got := atomic.LoadInt32(&launched); got != 1 {
+		t.Fatalf("%d handlers started, want 1 (queued work ran after cancel)", got)
+	}
+}
+
+// TestCancelBeforeRunStartsNothing: an already-dead context runs zero
+// handlers and returns its cause.
+func TestCancelBeforeRunStartsNothing(t *testing.T) {
+	var launched int32
+	handlers := map[string]Handler{
+		"fa": func(ctx context.Context, replica int, inputs []Input) ([]byte, error) {
+			atomic.AddInt32(&launched, 1)
+			return nil, nil
+		},
+		"fb": echoHandler("b"), "fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	r, err := New(diamondGraph(), handlers, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := atomic.LoadInt32(&launched); got != 0 {
+		t.Fatalf("%d handlers started under a dead context", got)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	g := diamondGraph()
+	handlers := map[string]Handler{
+		"fa": echoHandler("a"), "fb": echoHandler("b"),
+		"fc": echoHandler("c"), "fd": echoHandler("d"),
+	}
+	if _, err := New(g, handlers, Options{Parallelism: -1}); err == nil {
+		t.Error("negative Parallelism accepted")
+	}
+	if _, err := New(g, handlers, Options{MaxAttempts: -2}); err == nil {
+		t.Error("negative MaxAttempts accepted")
+	}
+	if _, err := New(g, handlers, Options{Parallelism: 0, MaxAttempts: 0}); err != nil {
+		t.Errorf("zero options rejected: %v", err)
+	}
+}

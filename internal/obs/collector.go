@@ -30,6 +30,12 @@ type Collector struct {
 	faults      *Counter
 	recoveries  *Counter
 	recoverySec *Histogram
+	admissions  *Counter
+	liveWfs     *Gauge
+	deadlines   *Counter
+	queueShed   *Counter
+	brkState    *Gauge
+	brkTrans    *Counter
 }
 
 // NewCollector registers the standard metric families on reg and returns
@@ -88,6 +94,18 @@ func NewCollector(reg *Registry) *Collector {
 			"Executor re-issues after faults.", "workflow", "reason", "replaced"),
 		recoverySec: reg.Histogram("faasflow_recovery_seconds",
 			"Time from a failed attempt's start to its replacement attempt.", nil, "workflow", "reason"),
+		admissions: reg.Counter("faasflow_admission_total",
+			"Admission-control decisions.", "workflow", "decision", "reason"),
+		liveWfs: reg.Gauge("faasflow_admitted_workflows",
+			"Admitted workflows currently in flight."),
+		deadlines: reg.Counter("faasflow_deadline_exceeded_total",
+			"Work abandoned because the invocation deadline passed.", "workflow", "where"),
+		queueShed: reg.Counter("faasflow_queue_shed_total",
+			"Acquisitions rejected by the bounded per-function queue.", "node", "function"),
+		brkState: reg.Gauge("faasflow_store_breaker_state",
+			"Store circuit breaker state (0=closed, 1=open, 2=half_open).", "backend"),
+		brkTrans: reg.Counter("faasflow_store_breaker_transitions_total",
+			"Store circuit breaker state transitions.", "backend", "state"),
 	}
 }
 
@@ -112,6 +130,9 @@ func (c *Collector) Handle(ev Event) {
 		c.nodeMem.Set(float64(e.MemUsed), e.Node)
 		c.nodeWarm.Set(float64(e.Warm), e.Node, e.Function)
 		c.fnQueue.Set(float64(e.Queued), e.Node, e.Function)
+		if e.Op == ContainerShed {
+			c.queueShed.Inc(e.Node, e.Function)
+		}
 	case TaskEvent:
 		c.nodeTasks.Set(float64(e.Running), e.Node)
 	case NodeCapacityEvent:
@@ -168,6 +189,25 @@ func (c *Collector) Handle(ev Event) {
 		}
 		c.recoveries.Inc(e.Workflow, e.Reason, replaced)
 		c.recoverySec.Observe((e.At - e.Start).Duration().Seconds(), e.Workflow, e.Reason)
+	case AdmissionEvent:
+		decision := "rejected"
+		if e.Admitted {
+			decision = "admitted"
+		}
+		c.admissions.Inc(e.Workflow, decision, e.Reason)
+		c.liveWfs.Set(float64(e.Live))
+	case DeadlineEvent:
+		c.deadlines.Inc(e.Workflow, e.Where)
+	case BreakerEvent:
+		var state float64
+		switch e.State {
+		case "open":
+			state = 1
+		case "half_open":
+			state = 2
+		}
+		c.brkState.Set(state, e.Backend)
+		c.brkTrans.Inc(e.Backend, e.State)
 	}
 }
 

@@ -248,6 +248,12 @@ const (
 	// ContainerReleased is a container going idle-warm after an invocation
 	// (no waiter took it over).
 	ContainerReleased
+	// ContainerShed is an acquisition rejected because the per-function
+	// waiting queue was at its bound (backpressure fast-fail).
+	ContainerShed
+	// ContainerDeadline is a queued acquisition abandoned because its
+	// deadline expired before a container freed up.
+	ContainerDeadline
 )
 
 func (o ContainerOp) String() string {
@@ -264,6 +270,10 @@ func (o ContainerOp) String() string {
 		return "destroyed"
 	case ContainerReleased:
 		return "released"
+	case ContainerShed:
+		return "shed"
+	case ContainerDeadline:
+		return "deadline"
 	default:
 		return fmt.Sprintf("ContainerOp(%d)", int(o))
 	}
@@ -473,6 +483,51 @@ type RecoveryEvent struct {
 
 func (e RecoveryEvent) Kind() string   { return "recovery" }
 func (e RecoveryEvent) When() sim.Time { return e.At }
+
+// ---------------------------------------------------------------------------
+// Overload-control events.
+
+// AdmissionEvent records one admission-control decision: a workflow start
+// accepted or rejected by the token bucket or the concurrent-workflow cap.
+type AdmissionEvent struct {
+	Workflow   string
+	Admitted   bool
+	Reason     string        // "ok" | "rate" | "concurrency"
+	Live       int           // admitted workflows in flight after the decision
+	RetryAfter time.Duration // suggested client backoff on rejection; 0 when admitted
+	At         sim.Time
+}
+
+func (e AdmissionEvent) Kind() string   { return "admission" }
+func (e AdmissionEvent) When() sim.Time { return e.At }
+
+// DeadlineEvent records work abandoned because its invocation deadline
+// passed: a step drained before triggering, a queued acquisition withdrawn,
+// or an executor phase cut short. Where names the point of abandonment.
+type DeadlineEvent struct {
+	Workflow string
+	Inv      int64
+	Node     int    // dag.NodeID of the step; -1 when invocation-level
+	Name     string // step name; "" when invocation-level
+	Where    string // "trigger" | "acquire" | "fetch" | "exec" | "store" | "dispatch"
+	Deadline sim.Time
+	At       sim.Time
+}
+
+func (e DeadlineEvent) Kind() string   { return "deadline" }
+func (e DeadlineEvent) When() sim.Time { return e.At }
+
+// BreakerEvent records a store circuit breaker state transition. Failures
+// is the consecutive-failure count at the instant of the transition.
+type BreakerEvent struct {
+	Backend  string // "remote"
+	State    string // "closed" | "open" | "half_open"
+	Failures int
+	At       sim.Time
+}
+
+func (e BreakerEvent) Kind() string   { return "breaker" }
+func (e BreakerEvent) When() sim.Time { return e.At }
 
 // ---------------------------------------------------------------------------
 // Bus.

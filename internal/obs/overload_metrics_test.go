@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestOverloadMetricFamiliesExposition feeds the collector one event of
+// each overload-control kind and asserts the Prometheus text exposition
+// contains the exact family declarations and series lines — the format the
+// gateway's GET /metrics serves and dashboards scrape by name.
+func TestOverloadMetricFamiliesExposition(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+
+	c.Handle(AdmissionEvent{Workflow: "wf", Admitted: true, Reason: "ok", Live: 3})
+	c.Handle(AdmissionEvent{Workflow: "wf", Admitted: false, Reason: "rate", Live: 3,
+		RetryAfter: 50 * time.Millisecond})
+	c.Handle(AdmissionEvent{Workflow: "wf", Admitted: false, Reason: "concurrency", Live: 3})
+	c.Handle(DeadlineEvent{Workflow: "wf", Inv: 1, Node: 2, Name: "b", Where: "acquire"})
+	c.Handle(DeadlineEvent{Workflow: "wf", Inv: 2, Node: -1, Where: "trigger"})
+	c.Handle(ContainerEvent{Node: "w0", Function: "f", Op: ContainerShed})
+	c.Handle(BreakerEvent{Backend: "remote", State: "open", Failures: 3})
+	c.Handle(BreakerEvent{Backend: "remote", State: "half_open", Failures: 3})
+
+	out := reg.String()
+	for _, want := range []string{
+		"# TYPE faasflow_admission_total counter",
+		`faasflow_admission_total{workflow="wf",decision="admitted",reason="ok"} 1`,
+		`faasflow_admission_total{workflow="wf",decision="rejected",reason="rate"} 1`,
+		`faasflow_admission_total{workflow="wf",decision="rejected",reason="concurrency"} 1`,
+		"# TYPE faasflow_admitted_workflows gauge",
+		"faasflow_admitted_workflows 3",
+		"# TYPE faasflow_deadline_exceeded_total counter",
+		`faasflow_deadline_exceeded_total{workflow="wf",where="acquire"} 1`,
+		`faasflow_deadline_exceeded_total{workflow="wf",where="trigger"} 1`,
+		"# TYPE faasflow_queue_shed_total counter",
+		`faasflow_queue_shed_total{node="w0",function="f"} 1`,
+		"# TYPE faasflow_fn_queue_depth gauge",
+		`faasflow_fn_queue_depth{node="w0",function="f"} 0`,
+		"# TYPE faasflow_store_breaker_state gauge",
+		`faasflow_store_breaker_state{backend="remote"} 2`,
+		"# TYPE faasflow_store_breaker_transitions_total counter",
+		`faasflow_store_breaker_transitions_total{backend="remote",state="open"} 1`,
+		`faasflow_store_breaker_transitions_total{backend="remote",state="half_open"} 1`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing line %q", want)
+		}
+	}
+	// The shed container event also counts in the lifecycle family.
+	if !strings.Contains(out, `faasflow_container_events_total{node="w0",event="shed"} 1`) {
+		t.Error("shed not counted in container lifecycle family")
+	}
+	// Breaker state gauge returns to 0 when the circuit closes.
+	c.Handle(BreakerEvent{Backend: "remote", State: "closed"})
+	if !strings.Contains(reg.String(), `faasflow_store_breaker_state{backend="remote"} 0`+"\n") {
+		t.Error("breaker gauge did not return to 0 on close")
+	}
+}

@@ -89,6 +89,12 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 		ev, err = unmarshal(&StoreFaultEvent{})
 	case "recovery":
 		ev, err = unmarshal(&RecoveryEvent{})
+	case "admission":
+		ev, err = unmarshal(&AdmissionEvent{})
+	case "deadline":
+		ev, err = unmarshal(&DeadlineEvent{})
+	case "breaker":
+		ev, err = unmarshal(&BreakerEvent{})
 	default:
 		return nil, fmt.Errorf("obs: snapshot holds unknown event kind %q (newer writer?)", kind)
 	}
@@ -128,6 +134,12 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case *StoreFaultEvent:
 		return *e, nil
 	case *RecoveryEvent:
+		return *e, nil
+	case *AdmissionEvent:
+		return *e, nil
+	case *DeadlineEvent:
+		return *e, nil
+	case *BreakerEvent:
 		return *e, nil
 	}
 	return ev, nil

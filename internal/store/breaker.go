@@ -1,0 +1,232 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/sim"
+)
+
+// This file implements the store circuit breaker: during a remote-store
+// brownout (outage, partition, or a saturated storage link) operations
+// would otherwise queue unboundedly — every in-flight workflow stalls
+// holding its container while its puts sit in the outage queue. The
+// breaker watches per-operation timeouts; after Threshold consecutive
+// failures it opens and fails fast, so callers learn immediately that the
+// backend is gone and can degrade (skip the write, drain the workflow)
+// instead of hanging. After Cooldown it half-opens and lets one probe
+// through; the probe's outcome closes or re-opens the circuit.
+
+// Breaker failure causes, reported through Hybrid's operation callbacks.
+var (
+	// ErrBreakerOpen is a fast-fail: the circuit is open, the operation was
+	// never issued to the backend.
+	ErrBreakerOpen = errors.New("store: circuit breaker open")
+	// ErrStoreTimeout is an operation abandoned by the breaker's watchdog;
+	// the backend may still complete it eventually, but the caller has
+	// moved on.
+	ErrStoreTimeout = errors.New("store: operation timed out")
+)
+
+// Breaker states, in gauge order (see faasflow_store_breaker_state).
+const (
+	breakerClosed = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// BreakerConfig tunes the circuit breaker.
+type BreakerConfig struct {
+	// Timeout is the per-operation watchdog: a remote op not acknowledged
+	// within it counts as a failure and fails the caller. Must be > 0.
+	Timeout time.Duration
+	// Threshold is the consecutive-failure count that opens the circuit
+	// (default 3).
+	Threshold int
+	// Cooldown is how long the circuit stays open before half-opening for
+	// a probe (default 5 × Timeout).
+	Cooldown time.Duration
+}
+
+func (c BreakerConfig) withDefaults() BreakerConfig {
+	if c.Threshold <= 0 {
+		c.Threshold = 3
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 5 * c.Timeout
+	}
+	return c
+}
+
+// Validate reports configuration mistakes.
+func (c BreakerConfig) Validate() error {
+	if c.Timeout <= 0 {
+		return fmt.Errorf("store: breaker Timeout = %v, must be positive", c.Timeout)
+	}
+	if c.Threshold < 0 {
+		return fmt.Errorf("store: breaker Threshold = %d, must be >= 0", c.Threshold)
+	}
+	if c.Cooldown < 0 {
+		return fmt.Errorf("store: breaker Cooldown = %v, must be >= 0", c.Cooldown)
+	}
+	return nil
+}
+
+// BreakerStats aggregates lifetime counters.
+type BreakerStats struct {
+	Trips     int64 // closed/half-open -> open transitions
+	FastFails int64 // operations rejected while open
+	Timeouts  int64 // operations abandoned by the watchdog
+	Probes    int64 // half-open trial operations issued
+}
+
+// Breaker is a consecutive-timeout circuit breaker on the simulation
+// clock. A nil *Breaker is valid and inert: Admit always allows and Track
+// never times out, so Hybrid call sites need no gating.
+type Breaker struct {
+	env *sim.Env
+	cfg BreakerConfig
+	bus *obs.Bus
+
+	state       int
+	consecFails int
+	openedAt    sim.Time
+	probing     bool
+	stats       BreakerStats
+}
+
+// NewBreaker builds a breaker in the closed state.
+func NewBreaker(env *sim.Env, cfg BreakerConfig) (*Breaker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Breaker{env: env, cfg: cfg.withDefaults()}, nil
+}
+
+// SetBus attaches (or detaches, with nil) an observability bus; state
+// transitions publish BreakerEvents.
+func (b *Breaker) SetBus(bus *obs.Bus) {
+	if b != nil {
+		b.bus = bus
+	}
+}
+
+// State reports the current state name ("closed" | "open" | "half_open").
+func (b *Breaker) State() string {
+	if b == nil {
+		return "closed"
+	}
+	return stateName(b.state)
+}
+
+func stateName(s int) string {
+	switch s {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half_open"
+	default:
+		return "closed"
+	}
+}
+
+// Stats returns a snapshot of lifetime counters.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{}
+	}
+	return b.stats
+}
+
+// Admit decides whether an operation may be issued now. Open circuits
+// fail fast with ErrBreakerOpen until the cooldown elapses, then admit a
+// single half-open probe at a time.
+func (b *Breaker) Admit() error {
+	if b == nil {
+		return nil
+	}
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.env.Now() >= b.openedAt+sim.Time(b.cfg.Cooldown) {
+			b.transition(breakerHalfOpen)
+			b.probing = true
+			b.stats.Probes++
+			return nil
+		}
+		b.stats.FastFails++
+		return ErrBreakerOpen
+	default: // half-open
+		if !b.probing {
+			b.probing = true
+			b.stats.Probes++
+			return nil
+		}
+		b.stats.FastFails++
+		return ErrBreakerOpen
+	}
+}
+
+// Track registers one admitted in-flight operation. It returns the settle
+// function the operation's completion callback must call; if the watchdog
+// fires first, onTimeout runs instead (and the late completion's settle is
+// a no-op). Nil-safe: a nil breaker returns an inert settle.
+func (b *Breaker) Track(onTimeout func()) func() {
+	if b == nil {
+		return func() {}
+	}
+	expired := false
+	ev := b.env.Schedule(b.cfg.Timeout, func() {
+		expired = true
+		b.stats.Timeouts++
+		b.recordFailure()
+		onTimeout()
+	})
+	return func() {
+		if expired {
+			return
+		}
+		ev.Cancel()
+		b.recordSuccess()
+	}
+}
+
+func (b *Breaker) recordFailure() {
+	b.consecFails++
+	b.probing = false
+	switch {
+	case b.state == breakerHalfOpen:
+		// The probe failed: straight back to open, cooldown restarts.
+		b.stats.Trips++
+		b.transition(breakerOpen)
+	case b.state == breakerClosed && b.consecFails >= b.cfg.Threshold:
+		b.stats.Trips++
+		b.transition(breakerOpen)
+	}
+}
+
+func (b *Breaker) recordSuccess() {
+	b.consecFails = 0
+	b.probing = false
+	if b.state != breakerClosed {
+		b.transition(breakerClosed)
+	}
+}
+
+func (b *Breaker) transition(state int) {
+	b.state = state
+	if state == breakerOpen {
+		b.openedAt = b.env.Now()
+	}
+	if b.bus.Active() {
+		b.bus.Publish(obs.BreakerEvent{
+			Backend:  "remote",
+			State:    stateName(state),
+			Failures: b.consecFails,
+			At:       b.env.Now(),
+		})
+	}
+}

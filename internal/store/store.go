@@ -110,6 +110,10 @@ func (s *RemoteKV) SetAvailable(up bool) {
 // Available reports whether the database is serving requests.
 func (s *RemoteKV) Available() bool { return !s.down }
 
+// PendingOps reports operations queued behind an outage — the residual
+// store work a drained system must not leave behind.
+func (s *RemoteKV) PendingOps() int { return len(s.pending) }
+
 // admit runs op now, or queues it until the outage ends.
 func (s *RemoteKV) admit(op func()) {
 	if s.down {
@@ -336,12 +340,21 @@ type Hybrid struct {
 	localMiss  int64
 	remoteOnly bool
 	bus        *obs.Bus
+	breaker    *Breaker
 }
 
 // SetBus attaches (or detaches, with nil) an observability bus; every
 // completed Put/Get publishes a StoreEvent carrying the serving tier,
 // hit/miss outcome, and the operation's span.
 func (h *Hybrid) SetBus(b *obs.Bus) { h.bus = b }
+
+// SetBreaker guards the remote path with a circuit breaker (nil disables).
+// Local-memory operations are never gated — only remote round-trips can
+// brown out.
+func (h *Hybrid) SetBreaker(b *Breaker) { h.breaker = b }
+
+// Breaker exposes the attached circuit breaker (nil when disabled).
+func (h *Hybrid) Breaker() *Breaker { return h.breaker }
 
 // pubOp publishes one completed storage operation.
 func (h *Hybrid) pubOp(op, key, worker string, tier obs.StoreTier, bytes int64, hit bool, start sim.Time) {
@@ -377,16 +390,17 @@ func NewHybrid(remote *RemoteKV, mem map[string]*MemKV, remoteOnly bool) *Hybrid
 // nodes that will read the key. The value goes to local memory only when
 // FaaStore is active, every consumer is the producing worker, and the local
 // quota holds it; otherwise it goes remote. done receives the chosen
-// location.
-func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func(Location)) {
+// location and a nil error, or LocNone with ErrBreakerOpen/ErrStoreTimeout
+// when the breaker fails the remote write fast.
+func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func(Location, error)) {
 	if done == nil {
-		done = func(Location) {}
+		done = func(Location, error) {}
 	}
 	start := h.remote.env.Now()
 	if !h.remoteOnly && h.allLocal(from, consumers) {
 		ok := h.mem[from] != nil && h.mem[from].TryPut(key, size, func() {
 			h.pubOp("put", key, from, obs.TierMemory, size, true, start)
-			done(LocMemory)
+			done(LocMemory, nil)
 		})
 		if ok {
 			h.placements[key] = LocMemory
@@ -394,10 +408,33 @@ func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func
 			return
 		}
 	}
+	if err := h.breaker.Admit(); err != nil {
+		// Fail fast without issuing the op: the value never lands anywhere,
+		// so no placement is recorded and a later Get misses honestly.
+		h.remote.env.Schedule(0, func() { done(LocNone, err) })
+		return
+	}
 	h.placements[key] = LocRemote
+	fired := false
+	settle := h.breaker.Track(func() {
+		// Watchdog: the write is abandoned. The backend may still apply it
+		// later (the RemoteKV op stays queued), but the caller sees a miss —
+		// drop the placement so reads don't trust an unacknowledged write.
+		fired = true
+		delete(h.placements, key)
+		done(LocNone, ErrStoreTimeout)
+	})
 	h.remote.Put(from, key, size, func() {
+		settle()
+		if fired {
+			// Late completion of a timed-out write: the data did land, but
+			// the caller already moved on. Re-record the placement so the
+			// value is at least findable; don't call done twice.
+			h.placements[key] = LocRemote
+			return
+		}
 		h.pubOp("put", key, from, obs.TierRemote, size, true, start)
-		done(LocRemote)
+		done(LocRemote, nil)
 	})
 }
 
@@ -413,10 +450,13 @@ func (h *Hybrid) allLocal(from string, consumers []string) bool {
 	return true
 }
 
-// Get reads key from worker node `at`, checking local memory first.
-func (h *Hybrid) Get(at, key string, done func(size int64, ok bool)) {
+// Get reads key from worker node `at`, checking local memory first. done
+// receives the size, whether the key was found, and a nil error — or
+// (0, false, ErrBreakerOpen/ErrStoreTimeout) when the breaker fails the
+// remote read fast.
+func (h *Hybrid) Get(at, key string, done func(size int64, ok bool, err error)) {
 	if done == nil {
-		done = func(int64, bool) {}
+		done = func(int64, bool, error) {}
 	}
 	start := h.remote.env.Now()
 	if h.placements[key] == LocMemory && h.homes[key] == at {
@@ -424,15 +464,28 @@ func (h *Hybrid) Get(at, key string, done func(size int64, ok bool)) {
 			h.localHits++
 			m.Get(key, func(size int64, ok bool) {
 				h.pubOp("get", key, at, obs.TierMemory, size, ok, start)
-				done(size, ok)
+				done(size, ok, nil)
 			})
 			return
 		}
 	}
 	h.localMiss++
+	if err := h.breaker.Admit(); err != nil {
+		h.remote.env.Schedule(0, func() { done(0, false, err) })
+		return
+	}
+	fired := false
+	settle := h.breaker.Track(func() {
+		fired = true
+		done(0, false, ErrStoreTimeout)
+	})
 	h.remote.Get(at, key, func(size int64, ok bool) {
+		settle()
+		if fired {
+			return
+		}
 		h.pubOp("get", key, at, obs.TierRemote, size, ok, start)
-		done(size, ok)
+		done(size, ok, nil)
 	})
 }
 

@@ -168,13 +168,13 @@ func newHybridRig(t *testing.T, remoteOnly bool, quota int64) (*sim.Env, *Hybrid
 func TestHybridKeepsLocalWhenConsumersLocal(t *testing.T) {
 	env, h := newHybridRig(t, false, 1<<20)
 	var loc Location
-	h.Put(workerA, "k", 1000, []string{workerA}, func(l Location) { loc = l })
+	h.Put(workerA, "k", 1000, []string{workerA}, func(l Location, _ error) { loc = l })
 	env.Run()
 	if loc != LocMemory {
 		t.Fatalf("placement = %v, want memory", loc)
 	}
 	var ok bool
-	h.Get(workerA, "k", func(s int64, o bool) { ok = o })
+	h.Get(workerA, "k", func(s int64, o bool, _ error) { ok = o })
 	env.Run()
 	if !ok || h.LocalHits() != 1 {
 		t.Fatalf("local get failed: hits=%d", h.LocalHits())
@@ -184,13 +184,13 @@ func TestHybridKeepsLocalWhenConsumersLocal(t *testing.T) {
 func TestHybridGoesRemoteForCrossWorkerConsumer(t *testing.T) {
 	env, h := newHybridRig(t, false, 1<<20)
 	var loc Location
-	h.Put(workerA, "k", 1000, []string{workerA, workerB}, func(l Location) { loc = l })
+	h.Put(workerA, "k", 1000, []string{workerA, workerB}, func(l Location, _ error) { loc = l })
 	env.Run()
 	if loc != LocRemote {
 		t.Fatalf("placement = %v, want remote", loc)
 	}
 	var ok bool
-	h.Get(workerB, "k", func(s int64, o bool) { ok = o })
+	h.Get(workerB, "k", func(s int64, o bool, _ error) { ok = o })
 	env.Run()
 	if !ok {
 		t.Fatal("remote get failed")
@@ -203,7 +203,7 @@ func TestHybridGoesRemoteForCrossWorkerConsumer(t *testing.T) {
 func TestHybridTerminalOutputGoesRemote(t *testing.T) {
 	env, h := newHybridRig(t, false, 1<<20)
 	var loc Location
-	h.Put(workerA, "final", 10, nil, func(l Location) { loc = l })
+	h.Put(workerA, "final", 10, nil, func(l Location, _ error) { loc = l })
 	env.Run()
 	if loc != LocRemote {
 		t.Fatalf("terminal output placed %v, want remote", loc)
@@ -213,15 +213,15 @@ func TestHybridTerminalOutputGoesRemote(t *testing.T) {
 func TestHybridQuotaOverflowFallsBack(t *testing.T) {
 	env, h := newHybridRig(t, false, 500)
 	var locs []Location
-	h.Put(workerA, "a", 400, []string{workerA}, func(l Location) { locs = append(locs, l) })
-	h.Put(workerA, "b", 400, []string{workerA}, func(l Location) { locs = append(locs, l) })
+	h.Put(workerA, "a", 400, []string{workerA}, func(l Location, _ error) { locs = append(locs, l) })
+	h.Put(workerA, "b", 400, []string{workerA}, func(l Location, _ error) { locs = append(locs, l) })
 	env.Run()
 	if len(locs) != 2 || locs[0] != LocMemory || locs[1] != LocRemote {
 		t.Fatalf("placements = %v, want [memory remote]", locs)
 	}
 	// The fallback must still be readable.
 	var ok bool
-	h.Get(workerA, "b", func(s int64, o bool) { ok = o })
+	h.Get(workerA, "b", func(s int64, o bool, _ error) { ok = o })
 	env.Run()
 	if !ok {
 		t.Fatal("fallback value unreadable")
@@ -231,7 +231,7 @@ func TestHybridQuotaOverflowFallsBack(t *testing.T) {
 func TestHybridRemoteOnlyMode(t *testing.T) {
 	env, h := newHybridRig(t, true, 1<<20)
 	var loc Location
-	h.Put(workerA, "k", 10, []string{workerA}, func(l Location) { loc = l })
+	h.Put(workerA, "k", 10, []string{workerA}, func(l Location, _ error) { loc = l })
 	env.Run()
 	if loc != LocRemote {
 		t.Fatalf("remote-only placement = %v", loc)
@@ -253,7 +253,7 @@ func TestHybridDeleteReleasesQuota(t *testing.T) {
 		t.Fatalf("Where = %v after delete", h.Where("a"))
 	}
 	ok := true
-	h.Get(workerA, "a", func(s int64, o bool) { ok = o })
+	h.Get(workerA, "a", func(s int64, o bool, _ error) { ok = o })
 	env.Run()
 	if ok {
 		t.Fatal("deleted key still readable")
@@ -267,7 +267,7 @@ func TestHybridLocalIsMuchFasterThanRemote(t *testing.T) {
 	hL.Put(workerA, "k", size, []string{workerA}, nil)
 	envL.Run()
 	start := envL.Now()
-	hL.Get(workerA, "k", func(int64, bool) { localDone = envL.Now() - start })
+	hL.Get(workerA, "k", func(int64, bool, error) { localDone = envL.Now() - start })
 	envL.Run()
 
 	envR, hR := newHybridRig(t, true, 1<<30)
@@ -275,7 +275,7 @@ func TestHybridLocalIsMuchFasterThanRemote(t *testing.T) {
 	hR.Put(workerA, "k", size, []string{workerA}, nil)
 	envR.Run()
 	startR := envR.Now()
-	hR.Get(workerA, "k", func(int64, bool) { remoteDone = envR.Now() - startR })
+	hR.Get(workerA, "k", func(int64, bool, error) { remoteDone = envR.Now() - startR })
 	envR.Run()
 
 	if float64(remoteDone) < 2*float64(localDone) {
