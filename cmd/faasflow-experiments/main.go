@@ -65,17 +65,19 @@ func emit(name string, t *metrics.Table) {
 
 func main() {
 	var (
-		run   = flag.String("run", "all", "comma-separated experiment list or 'all'")
-		n     = flag.Int("n", 1000, "invocations per measurement")
+		run      = flag.String("run", "all", "comma-separated experiment list or 'all'")
+		n        = flag.Int("n", 1000, "invocations per measurement")
 		snap     = flag.String("snapshot", "", "also write a flight-recorder snapshot (Gen+Vid on FaaSFlow-FaaStore) to this file")
 		chaos    = flag.Bool("chaos", false, "run only the chaos availability scenario (shorthand for -run chaos)")
 		overload = flag.Bool("overload", false, "run only the overload-control scenario (shorthand for -run overload)")
+		durable  = flag.Bool("durable", false, "run only the durable-execution scenario (shorthand for -run durable)")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's table as CSV into this directory")
 	flag.StringVar(&svgDir, "svg", "", "also write each experiment's figure as SVG into this directory")
 	flag.StringVar(&chaosSnapDir, "chaos-snapshots", "", "write each chaos mode's flight-recorder snapshot into this directory")
 	flag.BoolVar(&noAdmission, "no-admission", false, "overload counterfactual: disable front-door admission control (the goodput gate is expected to fail)")
 	flag.StringVar(&overloadSnapDir, "overload-snapshots", "", "write each overload rate point's flight-recorder snapshot into this directory")
+	flag.StringVar(&durableSnapDir, "durable-snapshots", "", "write each durable mode×scenario's flight-recorder snapshot into this directory")
 	flag.Parse()
 	if *chaos {
 		*run = "chaos"
@@ -83,7 +85,10 @@ func main() {
 	if *overload {
 		*run = "overload"
 	}
-	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir} {
+	if *durable {
+		*run = "durable"
+	}
+	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir} {
 		if dir == "" {
 			continue
 		}
@@ -132,7 +137,7 @@ func main() {
 		fmt.Printf("snapshot: wrote %s (%d events)\n", *snap, len(s.Events))
 	}
 	if ran == 0 && *snap == "" {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable\n", *run)
 		os.Exit(1)
 	}
 }
@@ -155,6 +160,37 @@ var experiments = []struct {
 	{"claims", "the paper's derived headline claims", runClaims},
 	{"chaos", "chaos availability: kill a worker mid-run, require zero lost invocations", runChaos},
 	{"overload", "overload control: sweep arrival rate past saturation, require graceful degradation", runOverload},
+	{"durable", "durable execution: engine crash replays the journal, node kill reads replicas", runDurable},
+}
+
+// durableSnapDir, when set, receives each durable mode×scenario snapshot as
+// durable-<mode>-<scenario>.json — byte-identical across same-seed runs,
+// which is what the CI durable smoke job diffs.
+var durableSnapDir string
+
+func runDurable(n int) error {
+	inv := n
+	if inv > 40 {
+		inv = 40 // like chaos: the scenario needs in-flight overlap, not volume
+	}
+	rows, err := harness.Durable(harness.DurableSpec{Invocations: inv}, nil)
+	if err != nil {
+		return err
+	}
+	emit("durable", harness.RenderDurable(rows))
+	if durableSnapDir != "" {
+		for _, r := range rows {
+			data, err := r.Snapshot.Marshal()
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("durable-%s-%s.json", r.Mode, r.Scenario)
+			if err := os.WriteFile(filepath.Join(durableSnapDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return harness.CheckDurable(rows)
 }
 
 // noAdmission disables the overload scenario's front-door admission

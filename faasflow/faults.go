@@ -26,6 +26,11 @@ const (
 	// StoreOutage makes remote storage unavailable for the window; pending
 	// operations queue and drain in order on recovery.
 	StoreOutage
+	// EngineDown crashes every deployed workflow engine for the window:
+	// in-flight invocations orphan, the journal tears at the crash instant,
+	// and restart replays committed steps (see DeployDurable). Node is
+	// unused.
+	EngineDown
 )
 
 // Fault is one scheduled failure window, relative to injection time.
@@ -61,6 +66,11 @@ func (s FaultSchedule) internal() faults.Schedule {
 func (c *Cluster) InjectFaults(s FaultSchedule) error {
 	inj := faults.NewInjector(c.tb.Env, c.tb.Runtime.Nodes, c.tb.Fabric,
 		c.tb.Runtime.Store, c.tb.Bus())
+	// EngineDown faults target every engine deployed so far; deploy durable
+	// apps before injecting them.
+	for _, eng := range c.tb.Engines() {
+		inj.AttachEngines(eng)
+	}
 	return inj.Install(s.internal())
 }
 

@@ -26,6 +26,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dag"
 	"repro/internal/expr"
+	"repro/internal/journal"
 	"repro/internal/network"
 	"repro/internal/obs"
 	"repro/internal/sim"
@@ -111,6 +112,12 @@ type Options struct {
 	// per executor, separately from the crash-attempt budget (default 8).
 	// An executor that exhausts its re-issues marks the invocation failed.
 	MaxReissues int
+	// Journal enables durable execution: every task completion is logged
+	// as a StepCommitted record before the step's state propagates, and
+	// CrashEngine/RestartEngine replay the log to resume in-flight
+	// invocations without re-executing committed steps. Nil (the default)
+	// disables journaling entirely.
+	Journal *journal.WAL
 }
 
 func (o Options) withDefaults() Options {
@@ -238,8 +245,8 @@ type Deployment struct {
 	// conds maps edge index -> compiled switch condition; nodes with any
 	// conditional out-edge are runtime switches. A stamped-but-empty
 	// condition (not in this map) is the default branch.
-	conds        map[int]*expr.Expr
-	switchNode   map[dag.NodeID]bool
+	conds         map[int]*expr.Expr
+	switchNode    map[dag.NodeID]bool
 	condErrors    int64
 	crashCount    int64
 	retryCount    int64
@@ -249,7 +256,26 @@ type Deployment struct {
 	failedInv     int64
 	deadlineCount int64
 	shedCount     int64
-	nodeOrder    []string // sorted runtime node IDs, for deterministic re-placement
+	nodeOrder     []string // sorted runtime node IDs, for deterministic re-placement
+	// avoid, when set, excludes workers from fault re-placement (e.g.
+	// nodes inside a scheduled NodeDown window that have not failed yet).
+	avoid func(worker string) bool
+
+	// Durable-execution state (nil/zero unless Options.Journal is set).
+	jr        *journal.WAL
+	down      bool
+	crashedAt sim.Time
+	// liveInvs tracks in-flight invocations by ID so a restart can replay
+	// them from the journal.
+	liveInvs map[int64]*invocation
+	// reexec guards producer re-execution (lost-input recovery): one
+	// re-run per (invocation, node) at a time, with waiters coalesced.
+	reexec        map[reexecKey][]func()
+	engineCrashes int64
+	replaySkips   int64
+	redispatched  int64
+	lostInputs    int64
+	reexecCount   int64
 
 	master  *proc
 	workers map[string]*proc
@@ -294,6 +320,11 @@ func NewDeployment(rt *Runtime, bench *workloads.Benchmark, place map[dag.NodeID
 		master:        &proc{env: rt.Env, cost: opts.withDefaults().MasterProc},
 		workers:       map[string]*proc{},
 		liveByVersion: map[int]int{},
+	}
+	if d.opts.Journal != nil {
+		d.jr = d.opts.Journal
+		d.liveInvs = map[int64]*invocation{}
+		d.reexec = map[reexecKey][]func(){}
 	}
 	for w := range rt.Nodes {
 		d.workers[w] = &proc{env: rt.Env, cost: d.opts.WorkerProc}
@@ -459,12 +490,23 @@ type invocation struct {
 	deadline  sim.Time // absolute; 0 = none
 	failed    bool
 	deadlined bool
+	// abandoned marks an invocation orphaned by an engine crash: every
+	// in-flight executor and engine-loop callback holding this object
+	// bails out, and a restarted engine resumes the run on a fresh
+	// invocation rebuilt from the journal.
+	abandoned bool
 	predsDone []int
 	realIn    []int // non-skipped predecessor completions
 	started   []bool
 	sinksLeft int
 	done      func(Result)
 	keys      []string
+	// stepSeq counts runTask dispatches per node (durable mode only): the
+	// journal's AttemptSeq, surviving replay so attempts stay monotonic.
+	stepSeq []int
+	// reexecs counts lost-input producer re-executions, bounded by
+	// MaxReissues so repeated data loss cannot loop forever.
+	reexecs int
 }
 
 // skippedOutEdges decides which of a completed node's out-edges deliver a
@@ -580,6 +622,16 @@ func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
 	if d.liveNow > d.peakLive {
 		d.peakLive = d.liveNow
 	}
+	if d.jr != nil {
+		inv.stepSeq = make([]int, d.g.Len())
+		d.liveInvs[inv.id] = inv
+		if d.down {
+			// The engine process is down: the request is durably queued
+			// (registered) and dispatches when the engine restarts.
+			d.pubInvocation(inv, false)
+			return
+		}
+	}
 	d.pubInvocation(inv, false)
 	switch d.opts.Mode {
 	case ModeWorkerSP:
@@ -592,6 +644,9 @@ func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
 }
 
 func (d *Deployment) finishInvocation(inv *invocation) {
+	if d.jr != nil {
+		delete(d.liveInvs, inv.id)
+	}
 	d.liveByVersion[inv.version]--
 	d.liveNow--
 	if d.liveByVersion[inv.version] == 0 && inv.version != d.version {
@@ -655,6 +710,18 @@ func (d *Deployment) runTask(inv *invocation, id dag.NodeID, onDone func(failed 
 	width := node.Width
 	pending := width
 	anyFailed := false
+	complete := onDone
+	if d.jr != nil {
+		inv.stepSeq[id]++
+		attemptSeq := inv.stepSeq[id]
+		complete = func(failed bool) {
+			if failed {
+				onDone(true)
+				return
+			}
+			d.commitStep(inv, id, attemptSeq, onDone)
+		}
+	}
 	for replica := 0; replica < width; replica++ {
 		st := &execState{}
 		d.startAttempt(inv, id, replica, 1, 0, st, func(failed bool) {
@@ -663,7 +730,7 @@ func (d *Deployment) runTask(inv *invocation, id dag.NodeID, onDone func(failed 
 			}
 			pending--
 			if pending == 0 {
-				onDone(anyFailed)
+				complete(anyFailed)
 			}
 		})
 	}
@@ -727,23 +794,41 @@ func (d *Deployment) fetchInputs(inv *invocation, id dag.NodeID, workerID string
 	i, rep := 0, 0
 	var step func()
 	step = func() {
-		// A dead deadline stops issuing further input fetches; the caller's
-		// post-fetch deadline check abandons the attempt.
-		if i == len(ins) || d.deadlineExceeded(inv) {
+		// A dead deadline (or an engine crash) stops issuing further input
+		// fetches; the caller's post-fetch checks abandon the attempt.
+		if i == len(ins) || d.deadlineExceeded(inv) || inv.abandoned {
 			next()
 			return
 		}
 		in := ins[i]
 		k := d.key(inv, in.edgeIdx, rep)
-		rep++
-		if rep >= in.replicas {
-			i++
-			rep = 0
+		advance := func() {
+			rep++
+			if rep >= in.replicas {
+				i++
+				rep = 0
+			}
+			step()
 		}
 		// Breaker fast-fails and misses alike continue the chain: a missing
 		// input is the modeled runtime's problem, not the scheduler's, and
-		// the fast-fail already bought the latency win.
-		d.rt.Store.Get(workerID, k, func(int64, bool, error) { step() })
+		// the fast-fail already bought the latency win. Durable mode is the
+		// exception — a clean miss there means a node death lost the
+		// producer's only copy, so the producer re-executes (its commit is
+		// idempotent) and the fetch retries once before moving on.
+		d.rt.Store.Get(workerID, k, func(_ int64, ok bool, err error) {
+			if d.jr != nil && !ok && err == nil && !inv.abandoned &&
+				inv.reexecs < d.opts.MaxReissues {
+				producer := d.g.Edges()[in.edgeIdx].From
+				inv.reexecs++
+				d.lostInputs++
+				d.reexecProducer(inv, producer, func() {
+					d.rt.Store.Get(workerID, k, func(int64, bool, error) { advance() })
+				})
+				return
+			}
+			advance()
+		})
 	}
 	step()
 }
@@ -760,9 +845,10 @@ func (d *Deployment) storeOutputs(inv *invocation, id dag.NodeID, replica int, w
 	i := 0
 	var step func()
 	step = func() {
-		// A dead deadline stops issuing further output puts; downstream
-		// consumers drain as skips and never read the missing keys.
-		if i == len(outs) || d.deadlineExceeded(inv) {
+		// A dead deadline (or an engine crash) stops issuing further output
+		// puts; downstream consumers drain as skips / are re-dispatched by
+		// replay and never depend on the missing keys.
+		if i == len(outs) || d.deadlineExceeded(inv) || inv.abandoned {
 			next()
 			return
 		}

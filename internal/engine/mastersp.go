@@ -26,6 +26,9 @@ import (
 func (d *Deployment) invokeMasterSP(inv *invocation) {
 	var enq, st, done sim.Time
 	enq, st, done = d.master.process(func() {
+		if inv.abandoned {
+			return
+		}
 		pre := d.chainProc(nil, enq, st, done)
 		for _, src := range d.sources {
 			d.mspAssign(inv, src, -1, pre)
@@ -37,7 +40,7 @@ func (d *Deployment) invokeMasterSP(inv *invocation) {
 // context (inside a master.process callback). from/pre carry the trigger
 // chain built up to (and including) the current master slot.
 func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []obs.Segment) {
-	if inv.started[id] {
+	if inv.started[id] || inv.abandoned {
 		return
 	}
 	inv.started[id] = true
@@ -48,6 +51,9 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 		d.publishChain(inv, from, int(id), pre)
 		var enq, st, done sim.Time
 		enq, st, done = d.master.process(func() {
+			if inv.abandoned {
+				return
+			}
 			d.mspComplete(inv, id, false, d.chainProc(nil, enq, st, done))
 		})
 		return
@@ -59,6 +65,9 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 		d.publishChain(inv, from, int(id), pre)
 		var enq, st, done sim.Time
 		enq, st, done = d.master.process(func() {
+			if inv.abandoned {
+				return
+			}
 			d.mspComplete(inv, id, true, d.chainProc(nil, enq, st, done))
 		})
 		return
@@ -68,6 +77,9 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 	// of the master's event loop.
 	var enq, st, done sim.Time
 	enq, st, done = d.master.process(func() {
+		if inv.abandoned {
+			return
+		}
 		segs := d.chainProc(pre, enq, st, done)
 		sendAt := d.rt.Env.Now()
 		d.rt.Fabric.SendMsg(d.rt.Master, w, d.opts.AssignMsgBytes, func() {
@@ -75,6 +87,9 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 			// The worker-side executor proxy accepts the task...
 			var e2, s2, d2 sim.Time
 			e2, s2, d2 = d.workers[w].process(func() {
+				if inv.abandoned {
+					return
+				}
 				d.publishChain(inv, from, int(id), d.chainProc(arrived, e2, s2, d2))
 				d.pubStep(inv, id, obs.StepTriggered)
 				d.runTask(inv, id, func(failed bool) {
@@ -84,6 +99,9 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 						back := d.chainTransfer(nil, backAt, d.rt.Env.Now())
 						var e3, s3, d3 sim.Time
 						e3, s3, d3 = d.master.process(func() {
+							if inv.abandoned {
+								return
+							}
 							d.mspComplete(inv, id, failed, d.chainProc(back, e3, s3, d3))
 						})
 					})
@@ -129,6 +147,9 @@ func (d *Deployment) mspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 					d.publishChain(inv, int(id), int(succ), pre)
 					var enq, st, done sim.Time
 					enq, st, done = d.master.process(func() {
+						if inv.abandoned {
+							return
+						}
 						d.mspComplete(inv, succ, true, d.chainProc(nil, enq, st, done))
 					})
 				}

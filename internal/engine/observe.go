@@ -133,6 +133,8 @@ func phaseComp(phase string) obs.Component {
 	case "exec":
 		return obs.CompExec
 	default:
+		// "store" and "commit" (the journal fsync window) both count as
+		// making outputs durable.
 		return obs.CompStore
 	}
 }

@@ -34,6 +34,9 @@ type execState struct {
 // re-issues (its budget is separate — a long-lived executor surviving a
 // node death should not burn its crash retries).
 func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attempt, reissue int, st *execState, onDone func(failed bool)) {
+	if inv.abandoned {
+		return // orphaned by an engine crash; replay owns the step now
+	}
 	node := d.g.Node(id)
 	workerID := inv.place[id]
 	w := d.rt.Nodes[workerID]
@@ -58,7 +61,7 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 		return
 	}
 
-	stale := func() bool { return st.seq != mySeq || st.finished }
+	stale := func() bool { return st.seq != mySeq || st.finished || inv.abandoned }
 
 	var timeout *sim.Event
 	if d.opts.TaskTimeout > 0 {
@@ -198,7 +201,7 @@ func (d *Deployment) crashRetry(inv *invocation, id dag.NodeID, replica, attempt
 	failAt := d.rt.Env.Now()
 	worker := inv.place[id]
 	d.rt.Env.Schedule(backoff, func() {
-		if st.finished {
+		if st.finished || inv.abandoned {
 			return
 		}
 		d.pubRecovery(inv, id, replica, "crash", worker, worker, reissue, backoff, failAt)
@@ -212,7 +215,7 @@ func (d *Deployment) crashRetry(inv *invocation, id dag.NodeID, replica, attempt
 // mode-appropriate engine loop and a control message to the new worker.
 func (d *Deployment) recoverExecutor(inv *invocation, id dag.NodeID, replica, attempt, reissue int, st *execState, attemptStart sim.Time, reason string, onDone func(failed bool)) {
 	st.seq++ // invalidate any in-flight phase callbacks of the dead attempt
-	if st.finished {
+	if st.finished || inv.abandoned {
 		return
 	}
 	if reissue >= d.opts.MaxReissues {
@@ -233,15 +236,15 @@ func (d *Deployment) recoverExecutor(inv *invocation, id dag.NodeID, replica, at
 
 	backoff := d.backoffDelay((attempt - 1) + reissue + 1)
 	dispatch := func() {
-		if st.finished {
+		if st.finished || inv.abandoned {
 			return
 		}
 		p.process(func() {
-			if st.finished {
+			if st.finished || inv.abandoned {
 				return
 			}
 			d.rt.Fabric.SendMsg(src, newWorker, d.opts.AssignMsgBytes, func() {
-				if st.finished {
+				if st.finished || inv.abandoned {
 					return
 				}
 				d.pubRecovery(inv, id, replica, reason, oldWorker, newWorker, reissue+1, backoff, attemptStart)
@@ -321,11 +324,30 @@ func (d *Deployment) replaceStranded(inv *invocation, dead string) {
 	}
 }
 
+// SetAvoid installs a predicate excluding workers from fault re-placement
+// even though they have not failed (yet) — typically nodes inside a
+// scheduled NodeDown window (see faults.Injector.NodeDownAt), so a
+// stranded task is not re-placed onto a node about to die. When every
+// candidate is excluded the predicate is ignored: a doomed placement still
+// beats none, and the next death re-places again.
+func (d *Deployment) SetAvoid(fn func(worker string) bool) { d.avoid = fn }
+
 // pickReplacement scores surviving workers for a stranded task by graph
 // locality — how many of the task's neighbors (predecessors and successors)
 // are placed there — echoing the Graph Scheduler's edge-weight objective.
 // Ties break on sorted node order, keeping re-placement deterministic.
 func (d *Deployment) pickReplacement(inv *invocation, id dag.NodeID) string {
+	if best := d.pickReplacementFiltered(inv, id, d.avoid); best != "" {
+		return best
+	}
+	if d.avoid == nil {
+		return ""
+	}
+	// Every survivor sits inside a fault window; fall back to ignoring it.
+	return d.pickReplacementFiltered(inv, id, nil)
+}
+
+func (d *Deployment) pickReplacementFiltered(inv *invocation, id dag.NodeID, avoid func(string) bool) string {
 	best := ""
 	bestScore := -1
 	neighbors := append(append([]dag.NodeID{}, d.g.Preds(id)...), d.g.Succs(id)...)
@@ -335,6 +357,9 @@ func (d *Deployment) pickReplacement(inv *invocation, id dag.NodeID) string {
 		}
 		n := d.rt.Nodes[cand]
 		if n == nil || n.Failed() {
+			continue
+		}
+		if avoid != nil && avoid(cand) {
 			continue
 		}
 		score := 0

@@ -28,6 +28,9 @@ func (d *Deployment) invokeWorkerSP(inv *invocation) {
 	// worker hosting each source node of the new InvocationID.
 	var enq, st, done sim.Time
 	enq, st, done = d.master.process(func() {
+		if inv.abandoned {
+			return
+		}
 		pre := d.chainProc(nil, enq, st, done)
 		for _, src := range d.sources {
 			src := src
@@ -47,7 +50,7 @@ func (d *Deployment) wspTrigger(inv *invocation, id dag.NodeID, from int, pre []
 	w := inv.place[id]
 	var enq, st, done sim.Time
 	enq, st, done = d.workers[w].process(func() {
-		if inv.started[id] {
+		if inv.started[id] || inv.abandoned {
 			return
 		}
 		inv.started[id] = true
@@ -70,6 +73,9 @@ func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 	w := inv.place[id]
 	var enq, st, done sim.Time
 	enq, st, done = d.workers[w].process(func() {
+		if inv.abandoned {
+			return
+		}
 		if nodeSkipped {
 			d.pubStep(inv, id, obs.StepSkipped)
 		} else {
@@ -85,6 +91,9 @@ func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 				segs := d.chainTransfer(pre, sendAt, d.rt.Env.Now())
 				var e2, s2, d2 sim.Time
 				e2, s2, d2 = d.master.process(func() {
+					if inv.abandoned {
+						return
+					}
 					inv.sinksLeft--
 					if inv.sinksLeft == 0 {
 						d.publishChain(inv, int(id), -1, d.chainProc(segs, e2, s2, d2))
@@ -115,6 +124,9 @@ func (d *Deployment) wspStateArrive(inv *invocation, succ dag.NodeID, skip bool,
 	sw := inv.place[succ]
 	var enq, st, done sim.Time
 	enq, st, done = d.workers[sw].process(func() {
+		if inv.abandoned {
+			return
+		}
 		inv.predsDone[succ]++
 		if !skip {
 			inv.realIn[succ]++

@@ -35,6 +35,12 @@ const (
 	// StoreOutage makes the remote KV unavailable for the window; issued
 	// operations queue and drain in order on recovery.
 	StoreOutage
+	// EngineDown crashes a workflow engine: its journal tears at the crash
+	// instant, every in-flight invocation is orphaned, and nothing runs
+	// until the window closes and the engine restarts, replaying the
+	// journal and re-dispatching only the uncommitted frontier. Targets
+	// every attached engine (see AttachEngines); Node is unused.
+	EngineDown
 )
 
 func (k Kind) String() string {
@@ -45,6 +51,8 @@ func (k Kind) String() string {
 		return "link-degraded"
 	case StoreOutage:
 		return "store-outage"
+	case EngineDown:
+		return "engine-down"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -86,7 +94,7 @@ func (s Schedule) Validate() error {
 			if f.Factor < 0 || f.Factor > 1 {
 				return fmt.Errorf("faults: fault %d: factor %v outside [0,1]", i, f.Factor)
 			}
-		case StoreOutage:
+		case StoreOutage, EngineDown:
 		default:
 			return fmt.Errorf("faults: fault %d: unknown kind %d", i, int(f.Kind))
 		}
@@ -94,16 +102,36 @@ func (s Schedule) Validate() error {
 	return nil
 }
 
+// Engine is the slice of the workflow engine the injector drives for
+// EngineDown faults (implemented by *engine.Deployment when a journal is
+// attached).
+type Engine interface {
+	CrashEngine()
+	RestartEngine()
+}
+
 // Injector applies fault schedules to a simulation's substrate.
 type Injector struct {
-	env   *sim.Env
-	nodes map[string]*cluster.Node
-	fab   *network.Fabric
-	st    *store.Hybrid
-	bus   *obs.Bus
+	env     *sim.Env
+	nodes   map[string]*cluster.Node
+	fab     *network.Fabric
+	st      *store.Hybrid
+	bus     *obs.Bus
+	engines []Engine
+
+	// downWindows records every NodeDown [start, end) armed at Install
+	// time, so schedulers can ask whether a node is inside an injected
+	// window at a given instant (see NodeDownAt).
+	downWindows map[string][]window
 
 	injected  int64
 	recovered int64
+}
+
+type window struct {
+	start sim.Time
+	end   sim.Time // start for permanent faults means "never recovers"
+	perm  bool
 }
 
 // NewInjector wires an injector to the substrate. fab, st, and bus may be
@@ -112,7 +140,28 @@ func NewInjector(env *sim.Env, nodes map[string]*cluster.Node, fab *network.Fabr
 	if env == nil {
 		panic("faults: nil env")
 	}
-	return &Injector{env: env, nodes: nodes, fab: fab, st: st, bus: bus}
+	return &Injector{
+		env: env, nodes: nodes, fab: fab, st: st, bus: bus,
+		downWindows: map[string][]window{},
+	}
+}
+
+// AttachEngines registers the workflow engines EngineDown faults crash and
+// restart. Call before Install when the schedule contains EngineDown.
+func (i *Injector) AttachEngines(engines ...Engine) {
+	i.engines = append(i.engines, engines...)
+}
+
+// NodeDownAt reports whether node sits inside an injected NodeDown window
+// at instant t. Replacement placement consults this so re-dispatched work
+// does not land on a node the schedule is about to kill (or has killed).
+func (i *Injector) NodeDownAt(node string, t sim.Time) bool {
+	for _, w := range i.downWindows[node] {
+		if t >= w.start && (w.perm || t < w.end) {
+			return true
+		}
+	}
+	return false
 }
 
 // Install validates the schedule against the topology and arms every fault
@@ -135,10 +184,22 @@ func (i *Injector) Install(s Schedule) error {
 			if i.st == nil {
 				return fmt.Errorf("faults: fault %d: no store attached", idx)
 			}
+		case EngineDown:
+			if len(i.engines) == 0 {
+				return fmt.Errorf("faults: fault %d: EngineDown with no engines attached", idx)
+			}
 		}
 	}
+	now := i.env.Now()
 	for _, f := range s {
 		f := f
+		if f.Kind == NodeDown {
+			i.downWindows[f.Node] = append(i.downWindows[f.Node], window{
+				start: now + sim.Time(f.At),
+				end:   now + sim.Time(f.At+f.Duration),
+				perm:  f.Duration <= 0,
+			})
+		}
 		i.env.Schedule(f.At, func() { i.apply(f) })
 		if f.Duration > 0 {
 			i.env.Schedule(f.At+f.Duration, func() { i.recover(f) })
@@ -163,6 +224,10 @@ func (i *Injector) apply(f Fault) {
 	case StoreOutage:
 		i.st.Remote().SetAvailable(false)
 		i.pub(obs.StoreFaultEvent{Down: true, At: i.env.Now()})
+	case EngineDown:
+		for _, e := range i.engines {
+			e.CrashEngine() // publishes EngineFaultEvent
+		}
 	}
 }
 
@@ -177,6 +242,10 @@ func (i *Injector) recover(f Fault) {
 	case StoreOutage:
 		i.st.Remote().SetAvailable(true)
 		i.pub(obs.StoreFaultEvent{Down: false, At: i.env.Now()})
+	case EngineDown:
+		for _, e := range i.engines {
+			e.RestartEngine() // publishes EngineFaultEvent
+		}
 	}
 }
 

@@ -190,3 +190,122 @@ func TestRandomNodeKillsDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestOverlappingWindowsRecoverExactly opens a NodeDown window fully
+// inside a StoreOutage window and checks each recovers independently with
+// exact counters — overlap must not double-apply, double-recover, or leak
+// either fault past its own window.
+func TestOverlappingWindowsRecoverExactly(t *testing.T) {
+	env := sim.NewEnv()
+	fab := network.New(env, network.DefaultConfig())
+	fab.AddNode("master", network.MBps(50), network.MBps(50))
+	fab.AddNode("w0", network.MBps(100), network.MBps(100))
+	n := testNode(env, "w0")
+	remote := store.NewRemoteKV(env, fab, "master", time.Millisecond)
+	hybrid := store.NewHybrid(remote, map[string]*store.MemKV{}, true)
+	inj := NewInjector(env, map[string]*cluster.Node{"w0": n}, fab, hybrid, nil)
+	err := inj.Install(Schedule{
+		{Kind: StoreOutage, At: time.Second, Duration: 4 * time.Second},          // [1s, 5s)
+		{Kind: NodeDown, Node: "w0", At: 2 * time.Second, Duration: time.Second}, // [2s, 3s)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Inside both windows: node dead AND store down.
+	env.RunUntil(sim.Time(2500 * time.Millisecond))
+	if !n.Failed() || remote.Available() {
+		t.Fatalf("at 2.5s: failed=%v storeUp=%v, want true/false", n.Failed(), remote.Available())
+	}
+	if inj.Injected() != 2 || inj.Recovered() != 0 {
+		t.Fatalf("at 2.5s counters = %d/%d, want 2/0", inj.Injected(), inj.Recovered())
+	}
+	// Node window closed, outage still open: recovery of the inner window
+	// must not drag the outer one shut.
+	env.RunUntil(sim.Time(3500 * time.Millisecond))
+	if n.Failed() {
+		t.Fatal("node still failed after its window closed")
+	}
+	if remote.Available() {
+		t.Fatal("store outage ended early when the node window closed")
+	}
+	if inj.Injected() != 2 || inj.Recovered() != 1 {
+		t.Fatalf("at 3.5s counters = %d/%d, want 2/1", inj.Injected(), inj.Recovered())
+	}
+	env.Run()
+	if n.Failed() || !remote.Available() {
+		t.Fatal("faults leaked past their windows")
+	}
+	if inj.Injected() != 2 || inj.Recovered() != 2 {
+		t.Fatalf("final counters = %d/%d, want 2/2", inj.Injected(), inj.Recovered())
+	}
+}
+
+// TestNodeDownAtTracksWindows checks the window query replacement
+// placement consults.
+func TestNodeDownAtTracksWindows(t *testing.T) {
+	env := sim.NewEnv()
+	n := testNode(env, "w0")
+	inj := NewInjector(env, map[string]*cluster.Node{"w0": n}, nil, nil, nil)
+	err := inj.Install(Schedule{
+		{Kind: NodeDown, Node: "w0", At: time.Second, Duration: time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want bool
+	}{
+		{500 * time.Millisecond, false},
+		{time.Second, true},
+		{1500 * time.Millisecond, true},
+		{2 * time.Second, false},
+		{3 * time.Second, false},
+	}
+	for _, c := range cases {
+		if got := inj.NodeDownAt("w0", sim.Time(c.at)); got != c.want {
+			t.Errorf("NodeDownAt(w0, %v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+	if inj.NodeDownAt("other", sim.Time(1500*time.Millisecond)) {
+		t.Error("unknown node reported down")
+	}
+}
+
+// TestEngineDownRequiresAttachedEngines checks Install validation.
+func TestEngineDownRequiresAttachedEngines(t *testing.T) {
+	env := sim.NewEnv()
+	inj := NewInjector(env, nil, nil, nil, nil)
+	if err := inj.Install(Schedule{{Kind: EngineDown, At: time.Second}}); err == nil {
+		t.Fatal("EngineDown accepted with no engines attached")
+	}
+}
+
+type fakeEngine struct{ crashes, restarts int }
+
+func (f *fakeEngine) CrashEngine()   { f.crashes++ }
+func (f *fakeEngine) RestartEngine() { f.restarts++ }
+
+// TestEngineDownDrivesAttachedEngines verifies the window crashes every
+// attached engine and restarts each when it closes.
+func TestEngineDownDrivesAttachedEngines(t *testing.T) {
+	env := sim.NewEnv()
+	inj := NewInjector(env, nil, nil, nil, nil)
+	e1, e2 := &fakeEngine{}, &fakeEngine{}
+	inj.AttachEngines(e1, e2)
+	err := inj.Install(Schedule{{Kind: EngineDown, At: time.Second, Duration: time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(sim.Time(1500 * time.Millisecond))
+	if e1.crashes != 1 || e2.crashes != 1 || e1.restarts != 0 {
+		t.Fatalf("mid-window: crashes=%d/%d restarts=%d", e1.crashes, e2.crashes, e1.restarts)
+	}
+	env.Run()
+	if e1.restarts != 1 || e2.restarts != 1 {
+		t.Fatalf("restarts = %d/%d, want 1/1", e1.restarts, e2.restarts)
+	}
+	if inj.Injected() != 1 || inj.Recovered() != 1 {
+		t.Fatalf("counters = %d/%d, want 1/1", inj.Injected(), inj.Recovered())
+	}
+}

@@ -7,6 +7,7 @@
 //	GET  /workflows/{name}     placement, groups, locality
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
 //	                           (429 + Retry-After when admission rejects)
+//	GET  /workflows/{name}/journal committed step records (durable deploys)
 //	GET  /workflows/{name}/trace   Chrome trace of observed invocations
 //	GET  /workflows/{name}/bottlenecks  critical path joined with saturation
 //	GET  /benchmarks           the built-in paper workloads
@@ -144,6 +145,12 @@ type deployRequest struct {
 		ExecSeconds float64 `json:"execSeconds"`
 		MemPeak     int64   `json:"memPeak,omitempty"`
 	} `json:"functions,omitempty"`
+	// Durable deploys with a workflow journal (and recovery enabled), so
+	// GET /workflows/{name}/journal serves the committed step records.
+	Durable bool `json:"durable,omitempty"`
+	// ReplicationFactor, with Durable, writes FaaStore outputs to this many
+	// worker shards (cluster-wide store property).
+	ReplicationFactor int `json:"replicationFactor,omitempty"`
 }
 
 // workflowInfo is the GET /workflows/{name} response.
@@ -212,7 +219,15 @@ func (s *Server) deploy(req deployRequest) (*workflowInfo, error) {
 	if _, dup := s.apps[name]; dup {
 		return nil, &httpError{http.StatusConflict, fmt.Sprintf("workflow %q already deployed", name)}
 	}
-	app, err := s.cluster.Deploy(wf, s.mode)
+	var app *faasflow.App
+	var err error
+	if req.Durable {
+		app, err = s.cluster.DeployDurable(wf, s.mode, faasflow.Durability{
+			ReplicationFactor: req.ReplicationFactor,
+		})
+	} else {
+		app, err = s.cluster.Deploy(wf, s.mode)
+	}
 	if err != nil {
 		return nil, &httpError{http.StatusUnprocessableEntity, err.Error()}
 	}
@@ -306,6 +321,20 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			P99Ms:       ms(stats.P99),
 			MaxMs:       ms(stats.Max),
 			TimeoutRate: stats.Timeouts,
+		})
+	case action == "journal" && r.Method == http.MethodGet:
+		if !app.Durable() {
+			fail(w, &httpError{http.StatusNotFound,
+				fmt.Sprintf("workflow %q was not deployed durable", name)})
+			return
+		}
+		entries := app.JournalEntries()
+		if entries == nil {
+			entries = []faasflow.JournalEntry{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"stats":   app.DurableStats(),
+			"entries": entries,
 		})
 	case action == "trace" && r.Method == http.MethodGet:
 		data, err := s.obs.WorkflowTrace(name)

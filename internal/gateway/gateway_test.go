@@ -473,3 +473,56 @@ func TestInvokeWithoutAdmissionNever429s(t *testing.T) {
 		}
 	}
 }
+
+// TestJournalEndpoint deploys a benchmark durable, invokes it, and reads
+// the committed step records back; a non-durable deploy must 404.
+func TestJournalEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows",
+		map[string]any{"name": "dur", "benchmark": "IR", "durable": true}, nil); code != http.StatusCreated {
+		t.Fatalf("durable deploy status = %d", code)
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows",
+		map[string]any{"name": "plain", "benchmark": "IR"}, nil); code != http.StatusCreated {
+		t.Fatalf("plain deploy status = %d", code)
+	}
+	var empty struct {
+		Entries []json.RawMessage `json:"entries"`
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/dur/journal", nil, &empty); code != http.StatusOK {
+		t.Fatalf("journal before invoke status = %d", code)
+	}
+	if len(empty.Entries) != 0 {
+		t.Fatalf("journal before invoke has %d entries", len(empty.Entries))
+	}
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows/dur/invoke",
+		map[string]any{"n": 2}, nil); code != http.StatusOK {
+		t.Fatalf("invoke status = %d", code)
+	}
+	var got struct {
+		Stats struct {
+			Journal struct {
+				Committed int64 `json:"Committed"`
+			}
+		} `json:"stats"`
+		Entries []struct {
+			Workflow string   `json:"workflow"`
+			Inv      int64    `json:"inv"`
+			Step     int      `json:"step"`
+			Outputs  []string `json:"outputs"`
+		} `json:"entries"`
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/dur/journal", nil, &got); code != http.StatusOK {
+		t.Fatalf("journal status = %d", code)
+	}
+	if len(got.Entries) == 0 || got.Stats.Journal.Committed == 0 {
+		t.Fatalf("journal empty after invoke: %d entries, %d committed",
+			len(got.Entries), got.Stats.Journal.Committed)
+	}
+	if got.Entries[0].Workflow != "IR" {
+		t.Fatalf("entry workflow = %q", got.Entries[0].Workflow)
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/plain/journal", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("non-durable journal status = %d, want 404", code)
+	}
+}

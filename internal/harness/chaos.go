@@ -7,6 +7,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/engine"
 	"repro/internal/faults"
+	"repro/internal/journal"
 	"repro/internal/metrics"
 	"repro/internal/obs"
 	"repro/internal/workloads"
@@ -28,6 +29,12 @@ type ChaosSpec struct {
 	Interval    time.Duration // open-loop arrival spacing (default 400ms)
 	DownFor     time.Duration // victim outage window (default 5s)
 	Seed        uint64
+
+	// EngineKillAt, when > 0, additionally crashes the workflow engine at
+	// that offset: a journal is attached to the deployment and the engine
+	// recovers by replay after EngineDownFor (default DownFor).
+	EngineKillAt  time.Duration
+	EngineDownFor time.Duration
 }
 
 func (s ChaosSpec) withDefaults() ChaosSpec {
@@ -43,6 +50,9 @@ func (s ChaosSpec) withDefaults() ChaosSpec {
 	if s.DownFor == 0 {
 		s.DownFor = 5 * time.Second
 	}
+	if s.EngineKillAt > 0 && s.EngineDownFor == 0 {
+		s.EngineDownFor = s.DownFor
+	}
 	return s
 }
 
@@ -57,8 +67,11 @@ type ChaosRow struct {
 	FailedInv   int // completed with the Failed flag (budget exhausted)
 	Lost        int // invocations that never completed — must be zero
 	Stats       engine.FailureStats
-	Mean        time.Duration
-	P99         time.Duration
+	// Durable carries journal/replay counters when EngineKillAt armed an
+	// engine crash (zero-valued otherwise).
+	Durable engine.DurableStats
+	Mean    time.Duration
+	P99     time.Duration
 	// Snapshot is the run's full flight-recorder snapshot; identical specs
 	// yield byte-identical snapshots.
 	Snapshot *obs.Snapshot
@@ -107,6 +120,9 @@ func chaosOne(spec ChaosSpec, mode engine.Mode) (ChaosRow, error) {
 		BackoffMax:  5 * time.Second,
 		MaxReissues: 10,
 	}
+	if spec.EngineKillAt > 0 {
+		opts.Journal = journal.New(tb.Env, journal.Config{})
+	}
 	d, err := tb.Deploy(bench, opts)
 	if err != nil {
 		return ChaosRow{}, fmt.Errorf("harness: chaos deploy %s/%s: %w", spec.Bench, mode, err)
@@ -115,12 +131,19 @@ func chaosOne(spec ChaosSpec, mode engine.Mode) (ChaosRow, error) {
 	victim := chaosVictim(d.Placement.Worker, tb.Workers)
 	killAt := spec.Interval * time.Duration(spec.Invocations) / 2
 	inj := faults.NewInjector(tb.Env, tb.Runtime.Nodes, tb.Fabric, tb.Runtime.Store, bus)
-	if err := inj.Install(faults.Schedule{{
+	schedule := faults.Schedule{{
 		Kind:     faults.NodeDown,
 		Node:     victim,
 		At:       killAt,
 		Duration: spec.DownFor,
-	}}); err != nil {
+	}}
+	if spec.EngineKillAt > 0 {
+		inj.AttachEngines(d.Engine)
+		schedule = append(schedule, faults.Fault{
+			Kind: faults.EngineDown, At: spec.EngineKillAt, Duration: spec.EngineDownFor,
+		})
+	}
+	if err := inj.Install(schedule); err != nil {
 		return ChaosRow{}, err
 	}
 
@@ -150,6 +173,7 @@ func chaosOne(spec ChaosSpec, mode engine.Mode) (ChaosRow, error) {
 		FailedInv:   failed,
 		Lost:        spec.Invocations - completed,
 		Stats:       d.Engine.FailureStatsSnapshot(),
+		Durable:     d.Engine.DurableStatsSnapshot(),
 		Mean:        rec.Mean(),
 		P99:         rec.P99(),
 		Snapshot: obs.BuildSnapshot(log, map[string]string{

@@ -3,6 +3,7 @@ package harness
 import (
 	"bytes"
 	"testing"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/obs"
@@ -104,5 +105,26 @@ func TestChaosRecoveryEventsInTrace(t *testing.T) {
 	}
 	if replacedTo == 0 {
 		t.Error("no recovery event shows a re-placed worker")
+	}
+}
+
+// TestChaosWithEngineKill layers an engine crash on top of the node kill:
+// the journal-backed deployment must replay committed steps after restart
+// and still lose nothing.
+func TestChaosWithEngineKill(t *testing.T) {
+	rows, err := Chaos(ChaosSpec{EngineKillAt: 3 * time.Second},
+		[]engine.Mode{engine.ModeWorkerSP})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.Lost != 0 {
+		t.Fatalf("lost %d of %d invocations", r.Lost, r.Invocations)
+	}
+	if r.Durable.EngineCrashes != 1 {
+		t.Fatalf("engine crashes = %d, want 1", r.Durable.EngineCrashes)
+	}
+	if r.Durable.ReplaySkips == 0 {
+		t.Fatal("restart replayed no committed steps")
 	}
 }

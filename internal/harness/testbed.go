@@ -114,6 +114,12 @@ func (tb *Testbed) AttachBus(b *obs.Bus) {
 // Bus reports the currently attached bus (nil when detached).
 func (tb *Testbed) Bus() *obs.Bus { return tb.bus }
 
+// Engines reports every engine deployment made on this testbed, in
+// deployment order — fault injectors attach EngineDown targets through it.
+func (tb *Testbed) Engines() []*engine.Deployment {
+	return append([]*engine.Deployment(nil), tb.engines...)
+}
+
 // NewTestbed builds a cluster per spec.
 func NewTestbed(spec ClusterSpec) *Testbed {
 	spec = spec.withDefaults()

@@ -44,6 +44,10 @@ const (
 	// timed-out executor attempt plus the re-issue hop and backoff before
 	// the replacement attempt starts.
 	CompRecovery
+	// CompReplay is durable-recovery overhead: the dead time between an
+	// engine crash and the restarted engine re-dispatching the uncommitted
+	// frontier after replaying the journal.
+	CompReplay
 
 	numComponents
 )
@@ -66,6 +70,8 @@ func (c Component) String() string {
 		return "schedule"
 	case CompRecovery:
 		return "recovery"
+	case CompReplay:
+		return "replay"
 	default:
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
@@ -141,6 +147,12 @@ const (
 	// StepReplaced fires when a task stranded on a dead node is re-placed
 	// onto a surviving worker.
 	StepReplaced
+	// StepCommitted fires when a step's completion record becomes durable
+	// in the workflow journal.
+	StepCommitted
+	// StepReplayed fires when a restarted engine re-dispatches a step from
+	// the journal-rebuilt frontier instead of the normal trigger path.
+	StepReplayed
 )
 
 func (s StepState) String() string {
@@ -159,6 +171,10 @@ func (s StepState) String() string {
 		return "timed_out"
 	case StepReplaced:
 		return "replaced"
+	case StepCommitted:
+		return "committed"
+	case StepReplayed:
+		return "replayed"
 	default:
 		return fmt.Sprintf("StepState(%d)", int(s))
 	}
@@ -459,6 +475,20 @@ type StoreFaultEvent struct {
 
 func (e StoreFaultEvent) Kind() string   { return "store-fault" }
 func (e StoreFaultEvent) When() sim.Time { return e.At }
+
+// EngineFaultEvent marks a workflow engine process crashing or restarting.
+// On restart, Replayed counts journal-committed steps skipped and
+// Redispatched counts frontier steps re-issued.
+type EngineFaultEvent struct {
+	Workflow     string
+	Down         bool // true = crash, false = restart
+	Replayed     int
+	Redispatched int
+	At           sim.Time
+}
+
+func (e EngineFaultEvent) Kind() string   { return "engine-fault" }
+func (e EngineFaultEvent) When() sim.Time { return e.At }
 
 // RecoveryEvent records one executor re-issue after a fault: the reason
 // (node-down, timeout, crash), the worker the attempt was stranded on, the

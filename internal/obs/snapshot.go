@@ -87,6 +87,8 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 		ev, err = unmarshal(&LinkFaultEvent{})
 	case "store-fault":
 		ev, err = unmarshal(&StoreFaultEvent{})
+	case "engine-fault":
+		ev, err = unmarshal(&EngineFaultEvent{})
 	case "recovery":
 		ev, err = unmarshal(&RecoveryEvent{})
 	case "admission":
@@ -132,6 +134,8 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case *LinkFaultEvent:
 		return *e, nil
 	case *StoreFaultEvent:
+		return *e, nil
+	case *EngineFaultEvent:
 		return *e, nil
 	case *RecoveryEvent:
 		return *e, nil

@@ -93,8 +93,16 @@ type Breaker struct {
 	state       int
 	consecFails int
 	openedAt    sim.Time
-	probing     bool
-	stats       BreakerStats
+	// probing marks the single half-open probe slot as taken; only the
+	// probe operation's own outcome may release it.
+	probing bool
+	// pendingProbe hands the probe designation from Admit to the next
+	// Track call (Hybrid always calls them back to back), so Track knows
+	// whether the operation it watches IS the probe. Without this, any
+	// stale pre-trip operation settling during half-open would clear the
+	// probe slot and let a second concurrent probe through.
+	pendingProbe bool
+	stats        BreakerStats
 }
 
 // NewBreaker builds a breaker in the closed state.
@@ -154,6 +162,7 @@ func (b *Breaker) Admit() error {
 		if b.env.Now() >= b.openedAt+sim.Time(b.cfg.Cooldown) {
 			b.transition(breakerHalfOpen)
 			b.probing = true
+			b.pendingProbe = true
 			b.stats.Probes++
 			return nil
 		}
@@ -162,6 +171,7 @@ func (b *Breaker) Admit() error {
 	default: // half-open
 		if !b.probing {
 			b.probing = true
+			b.pendingProbe = true
 			b.stats.Probes++
 			return nil
 		}
@@ -178,11 +188,13 @@ func (b *Breaker) Track(onTimeout func()) func() {
 	if b == nil {
 		return func() {}
 	}
+	isProbe := b.pendingProbe
+	b.pendingProbe = false
 	expired := false
 	ev := b.env.Schedule(b.cfg.Timeout, func() {
 		expired = true
 		b.stats.Timeouts++
-		b.recordFailure()
+		b.recordFailure(isProbe)
 		onTimeout()
 	})
 	return func() {
@@ -190,30 +202,48 @@ func (b *Breaker) Track(onTimeout func()) func() {
 			return
 		}
 		ev.Cancel()
-		b.recordSuccess()
+		b.recordSuccess(isProbe)
 	}
 }
 
-func (b *Breaker) recordFailure() {
+func (b *Breaker) recordFailure(isProbe bool) {
 	b.consecFails++
-	b.probing = false
-	switch {
-	case b.state == breakerHalfOpen:
+	if isProbe {
 		// The probe failed: straight back to open, cooldown restarts.
+		b.probing = false
 		b.stats.Trips++
 		b.transition(breakerOpen)
-	case b.state == breakerClosed && b.consecFails >= b.cfg.Threshold:
-		b.stats.Trips++
-		b.transition(breakerOpen)
+		return
+	}
+	switch b.state {
+	case breakerClosed:
+		if b.consecFails >= b.cfg.Threshold {
+			b.stats.Trips++
+			b.transition(breakerOpen)
+		}
+	case breakerHalfOpen:
+		// A stale pre-trip operation timing out while the probe is in
+		// flight: evidence from before the trip, not about the probe. The
+		// probe slot stays taken; the probe's own outcome decides.
 	}
 }
 
-func (b *Breaker) recordSuccess() {
+func (b *Breaker) recordSuccess(isProbe bool) {
 	b.consecFails = 0
-	b.probing = false
-	if b.state != breakerClosed {
+	if isProbe {
+		b.probing = false
+		if b.state != breakerClosed {
+			b.transition(breakerClosed)
+		}
+		return
+	}
+	if b.state == breakerOpen {
+		// A pre-trip operation completed after all: the backend answered,
+		// so recover early rather than waiting out the cooldown.
 		b.transition(breakerClosed)
 	}
+	// In half-open, a stale success neither closes the circuit nor frees
+	// the probe slot — only the probe's outcome may.
 }
 
 func (b *Breaker) transition(state int) {

@@ -295,7 +295,7 @@ func TestBreakerLocalPathNotGated(t *testing.T) {
 	// Memory-tier operations bypass the breaker entirely: a brownout of the
 	// remote database must not block local exchange.
 	env, _, remote := testRig(t)
-	h := NewHybrid(remote, map[string]*MemKV{workerA: NewMemKV(env, workerA, 1 << 20)}, false)
+	h := NewHybrid(remote, map[string]*MemKV{workerA: NewMemKV(env, workerA, 1<<20)}, false)
 	b, _ := NewBreaker(env, BreakerConfig{Timeout: 50 * time.Millisecond, Threshold: 1})
 	h.SetBreaker(b)
 	remote.SetAvailable(false)
@@ -318,5 +318,85 @@ func TestBreakerLocalPathNotGated(t *testing.T) {
 	env.Run()
 	if getErr != nil || !ok {
 		t.Fatalf("local get with open breaker: ok=%v err=%v", ok, getErr)
+	}
+}
+
+// Regression: an operation admitted before the trip that settles
+// successfully while the half-open probe is in flight must not free the
+// probe slot (letting a second concurrent probe through) or close the
+// circuit — only the probe's own outcome may.
+func TestBreakerStaleSettleDoesNotFreeProbeSlot(t *testing.T) {
+	env := sim.NewEnv()
+	b, _ := NewBreaker(env, BreakerConfig{
+		Timeout: 10 * time.Millisecond, Threshold: 1, Cooldown: 2 * time.Millisecond,
+	})
+	// Op B: admitted while closed, times out at t=10ms and trips the breaker.
+	b.Track(func() {})
+	// Op A: admitted while closed at t=5ms, still in flight when the
+	// breaker trips.
+	var settleA func()
+	env.Schedule(5*time.Millisecond, func() {
+		settleA = b.Track(func() { t.Fatal("op A timed out") })
+	})
+	env.Schedule(13*time.Millisecond, func() {
+		if err := b.Admit(); err != nil {
+			t.Fatalf("probe Admit = %v", err)
+		}
+		settleProbe := b.Track(func() { t.Fatal("probe timed out") })
+		env.Schedule(time.Millisecond, func() {
+			// The stale pre-trip op settles while the probe is in flight.
+			settleA()
+			if b.State() != "half_open" {
+				t.Fatalf("state = %q after stale settle, want half_open", b.State())
+			}
+			if err := b.Admit(); !errors.Is(err, ErrBreakerOpen) {
+				t.Fatalf("Admit after stale settle = %v, want ErrBreakerOpen", err)
+			}
+		})
+		env.Schedule(3*time.Millisecond, func() {
+			settleProbe()
+			if b.State() != "closed" {
+				t.Fatalf("state = %q after probe success, want closed", b.State())
+			}
+		})
+	})
+	env.Run()
+	if st := b.Stats(); st.Trips != 1 || st.Probes != 1 {
+		t.Fatalf("stats = %+v, want 1 trip / 1 probe", st)
+	}
+}
+
+// Regression (timeout flavor): a stale pre-trip op expiring mid-probe is
+// evidence from before the trip — it must not re-trip the circuit or free
+// the probe slot.
+func TestBreakerStaleTimeoutDuringProbeIgnored(t *testing.T) {
+	env := sim.NewEnv()
+	b, _ := NewBreaker(env, BreakerConfig{
+		Timeout: 10 * time.Millisecond, Threshold: 1, Cooldown: 2 * time.Millisecond,
+	})
+	b.Track(func() {}) // times out at t=10ms and trips
+	// Op A tracked at t=5ms; its watchdog fires at t=15ms, mid-probe.
+	env.Schedule(5*time.Millisecond, func() { b.Track(func() {}) })
+	env.Schedule(13*time.Millisecond, func() {
+		if err := b.Admit(); err != nil {
+			t.Fatalf("probe Admit = %v", err)
+		}
+		settleProbe := b.Track(func() { t.Fatal("probe timed out") })
+		env.Schedule(4*time.Millisecond, func() {
+			if b.State() != "half_open" {
+				t.Fatalf("state = %q after stale timeout, want half_open", b.State())
+			}
+			if err := b.Admit(); !errors.Is(err, ErrBreakerOpen) {
+				t.Fatalf("Admit after stale timeout = %v, want ErrBreakerOpen", err)
+			}
+			settleProbe()
+			if b.State() != "closed" {
+				t.Fatalf("state = %q after probe success, want closed", b.State())
+			}
+		})
+	})
+	env.Run()
+	if st := b.Stats(); st.Trips != 1 {
+		t.Fatalf("stale timeout re-tripped: %+v", st)
 	}
 }

@@ -19,6 +19,7 @@ package store
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/network"
@@ -300,6 +301,12 @@ func (s *MemKV) Has(key string) bool {
 	return ok
 }
 
+// Size reports a resident key's byte size.
+func (s *MemKV) Size(key string) (int64, bool) {
+	size, ok := s.values[key]
+	return size, ok
+}
+
 // Delete releases a key's memory.
 func (s *MemKV) Delete(key string) {
 	if size, ok := s.values[key]; ok {
@@ -341,6 +348,27 @@ type Hybrid struct {
 	remoteOnly bool
 	bus        *obs.Bus
 	breaker    *Breaker
+
+	// Replication (inactive while replFactor <= 1 — the single-copy
+	// FaaStore above is then byte-identical to its pre-replication
+	// behavior). With factor k, memory placements go to k worker shards
+	// chosen by graph locality; see Put.
+	replFactor  int
+	repairDelay time.Duration
+	alive       func(node string) bool // nil = everything alive
+	workerOrder []string               // sorted, for deterministic iteration
+	replicas    map[string][]string    // key -> workers holding a copy, write order
+	repairQueue map[string]bool        // under-replicated keys awaiting repair
+	repairEv    *sim.Event
+	replStats   ReplStats
+}
+
+// ReplStats aggregates replication counters.
+type ReplStats struct {
+	ReplicaWrites  int64 // cross-node copies written at Put time
+	ReplicaReads   int64 // Gets served from a non-local surviving replica
+	ReReplications int64 // copies restored by the background repair pass
+	LostKeys       int64 // keys whose every replica died before repair
 }
 
 // SetBus attaches (or detaches, with nil) an observability bus; every
@@ -355,6 +383,79 @@ func (h *Hybrid) SetBreaker(b *Breaker) { h.breaker = b }
 
 // Breaker exposes the attached circuit breaker (nil when disabled).
 func (h *Hybrid) Breaker() *Breaker { return h.breaker }
+
+// SetReplication turns on k-way replicated memory placement. With factor
+// k >= 2, Put writes up to k copies to worker shards chosen by graph
+// locality (consumers first, then the producer, then the remaining workers
+// in sorted order), Get falls back to surviving replicas when the local
+// copy's node died, and DropWorker schedules a background repair pass
+// after repairDelay that restores the factor by copying from a survivor.
+// Factor <= 1 restores the single-copy behavior exactly.
+func (h *Hybrid) SetReplication(factor int, repairDelay time.Duration) {
+	if factor < 1 {
+		factor = 1
+	}
+	if repairDelay <= 0 {
+		repairDelay = 10 * time.Millisecond
+	}
+	h.replFactor = factor
+	h.repairDelay = repairDelay
+	h.workerOrder = h.workerOrder[:0]
+	for w := range h.mem {
+		h.workerOrder = append(h.workerOrder, w)
+	}
+	sort.Strings(h.workerOrder)
+}
+
+// ReplicationFactor reports the configured factor (1 = off).
+func (h *Hybrid) ReplicationFactor() int {
+	if h.replFactor < 1 {
+		return 1
+	}
+	return h.replFactor
+}
+
+// SetAlive installs the node-liveness predicate replication consults when
+// choosing placement and repair targets (nil = everything alive). The
+// harness wires this to the fault injector's node state.
+func (h *Hybrid) SetAlive(fn func(node string) bool) { h.alive = fn }
+
+func (h *Hybrid) nodeAlive(node string) bool { return h.alive == nil || h.alive(node) }
+
+// ReplStats returns a snapshot of replication counters.
+func (h *Hybrid) ReplStats() ReplStats { return h.replStats }
+
+// Replicas reports the workers currently holding memory copies of key, in
+// write order (nil when the key is not memory-placed or replication is off).
+func (h *Hybrid) Replicas(key string) []string {
+	reps := h.replicas[key]
+	if len(reps) == 0 {
+		return nil
+	}
+	return append([]string(nil), reps...)
+}
+
+// replicaCandidates orders placement targets by graph locality: each
+// consumer (so its reads stay local), then the producer, then the
+// remaining workers in sorted order as spill targets.
+func (h *Hybrid) replicaCandidates(from string, consumers []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(h.workerOrder))
+	add := func(w string) {
+		if !seen[w] && h.mem[w] != nil {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	for _, c := range consumers {
+		add(c)
+	}
+	add(from)
+	for _, w := range h.workerOrder {
+		add(w)
+	}
+	return out
+}
 
 // pubOp publishes one completed storage operation.
 func (h *Hybrid) pubOp(op, key, worker string, tier obs.StoreTier, bytes int64, hit bool, start sim.Time) {
@@ -378,11 +479,13 @@ func (h *Hybrid) pubOp(op, key, worker string, tier obs.StoreTier, bytes int64, 
 // plain-FaaSFlow / HyperFlow data path) so experiments can toggle FaaStore.
 func NewHybrid(remote *RemoteKV, mem map[string]*MemKV, remoteOnly bool) *Hybrid {
 	return &Hybrid{
-		remote:     remote,
-		mem:        mem,
-		placements: map[string]Location{},
-		homes:      map[string]string{},
-		remoteOnly: remoteOnly,
+		remote:      remote,
+		mem:         mem,
+		placements:  map[string]Location{},
+		homes:       map[string]string{},
+		remoteOnly:  remoteOnly,
+		replicas:    map[string][]string{},
+		repairQueue: map[string]bool{},
 	}
 }
 
@@ -397,7 +500,14 @@ func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func
 		done = func(Location, error) {}
 	}
 	start := h.remote.env.Now()
-	if !h.remoteOnly && h.allLocal(from, consumers) {
+	if !h.remoteOnly && h.replFactor > 1 && len(consumers) > 0 {
+		// Replicated placement relaxes the all-local rule: remote consumers
+		// read from their own replica (or any survivor) instead of forcing
+		// the value to the database. Terminal outputs still go remote.
+		if placed := h.putReplicated(from, key, size, consumers, start, done); placed {
+			return
+		}
+	} else if !h.remoteOnly && h.allLocal(from, consumers) {
 		ok := h.mem[from] != nil && h.mem[from].TryPut(key, size, func() {
 			h.pubOp("put", key, from, obs.TierMemory, size, true, start)
 			done(LocMemory, nil)
@@ -438,6 +548,53 @@ func (h *Hybrid) Put(from, key string, size int64, consumers []string, done func
 	})
 }
 
+// putReplicated tries to place up to replFactor memory copies of key on
+// the locality-ordered candidates. Quota is reserved synchronously via
+// TryPut; cross-node copies additionally pay the fabric transfer. Reports
+// whether at least one copy landed — if none fit, the caller falls back to
+// the remote path. done fires once, after every copy has completed.
+func (h *Hybrid) putReplicated(from, key string, size int64, consumers []string, start sim.Time, done func(Location, error)) bool {
+	var placed []string
+	remaining := 0
+	complete := func() {
+		remaining--
+		if remaining == 0 {
+			h.pubOp("put", key, from, obs.TierMemory, size, true, start)
+			done(LocMemory, nil)
+		}
+	}
+	for _, node := range h.replicaCandidates(from, consumers) {
+		if len(placed) == h.replFactor {
+			break
+		}
+		if !h.nodeAlive(node) {
+			continue
+		}
+		m := h.mem[node]
+		node := node
+		if node == from {
+			if m.TryPut(key, size, func() { complete() }) {
+				placed = append(placed, node)
+				remaining++
+			}
+			continue
+		}
+		if m.TryPut(key, size, nil) {
+			placed = append(placed, node)
+			remaining++
+			h.replStats.ReplicaWrites++
+			h.remote.fab.Send(from, node, size, func() { complete() })
+		}
+	}
+	if len(placed) == 0 {
+		return false
+	}
+	h.placements[key] = LocMemory
+	h.homes[key] = placed[0]
+	h.replicas[key] = placed
+	return true
+}
+
 func (h *Hybrid) allLocal(from string, consumers []string) bool {
 	if len(consumers) == 0 {
 		return false // terminal outputs go to the database (user-visible)
@@ -459,7 +616,36 @@ func (h *Hybrid) Get(at, key string, done func(size int64, ok bool, err error)) 
 		done = func(int64, bool, error) {}
 	}
 	start := h.remote.env.Now()
-	if h.placements[key] == LocMemory && h.homes[key] == at {
+	if h.placements[key] == LocMemory && h.replFactor > 1 {
+		if src := h.pickReplica(at, key); src != "" {
+			m := h.mem[src]
+			if src == at {
+				h.localHits++
+				m.Get(key, func(size int64, ok bool) {
+					h.pubOp("get", key, at, obs.TierMemory, size, ok, start)
+					done(size, ok, nil)
+				})
+				return
+			}
+			// Replica fallback: the reader's node has no copy (or it died
+			// with its node) but a sibling replica survives — fetch it over
+			// the fabric instead of re-executing the producer.
+			h.replStats.ReplicaReads++
+			m.Get(key, func(size int64, ok bool) {
+				if !ok {
+					done(0, false, nil)
+					return
+				}
+				h.remote.fab.Send(src, at, size, func() {
+					h.pubOp("get", key, at, obs.TierMemory, size, true, start)
+					done(size, true, nil)
+				})
+			})
+			return
+		}
+		// Every replica died before repair: fall through to the remote
+		// store, which will report an honest miss.
+	} else if h.placements[key] == LocMemory && h.homes[key] == at {
 		if m := h.mem[at]; m != nil && m.Has(key) {
 			h.localHits++
 			m.Get(key, func(size int64, ok bool) {
@@ -489,6 +675,26 @@ func (h *Hybrid) Get(at, key string, done func(size int64, ok bool, err error)) 
 	})
 }
 
+// pickReplica chooses which surviving copy serves a read from `at`:
+// the local replica when present, else the first live holder in write
+// order. Empty string means every copy is gone.
+func (h *Hybrid) pickReplica(at, key string) string {
+	reps := h.replicas[key]
+	if m := h.mem[at]; m != nil && m.Has(key) && h.nodeAlive(at) {
+		for _, r := range reps {
+			if r == at {
+				return at
+			}
+		}
+	}
+	for _, r := range reps {
+		if m := h.mem[r]; m != nil && m.Has(key) && h.nodeAlive(r) {
+			return r
+		}
+	}
+	return ""
+}
+
 // Where reports a key's recorded placement.
 func (h *Hybrid) Where(key string) Location { return h.placements[key] }
 
@@ -496,7 +702,13 @@ func (h *Hybrid) Where(key string) Location { return h.placements[key] }
 func (h *Hybrid) Delete(key string) {
 	switch h.placements[key] {
 	case LocMemory:
-		if m := h.mem[h.homes[key]]; m != nil {
+		if reps := h.replicas[key]; len(reps) > 0 {
+			for _, r := range reps {
+				if m := h.mem[r]; m != nil {
+					m.Delete(key)
+				}
+			}
+		} else if m := h.mem[h.homes[key]]; m != nil {
 			m.Delete(key)
 		}
 	case LocRemote:
@@ -504,15 +716,54 @@ func (h *Hybrid) Delete(key string) {
 	}
 	delete(h.placements, key)
 	delete(h.homes, key)
+	delete(h.replicas, key)
+	delete(h.repairQueue, key)
 }
 
 // DropWorker models a worker's in-memory store dying with its node: every
-// key homed there is lost — later Gets fall through to the remote store and
-// miss — and the local quota usage resets. Safe for unknown workers.
+// copy homed there is lost and the local quota usage resets. Replicated
+// keys survive on their sibling shards — reads fall back to a survivor and
+// a background repair pass restores the replication factor; a key whose
+// every replica died is lost (later Gets miss honestly). Safe for unknown
+// workers.
 func (h *Hybrid) DropWorker(node string) {
 	m := h.mem[node]
 	if m == nil {
 		return
+	}
+	if h.replFactor > 1 {
+		var hit []string
+		for key, reps := range h.replicas {
+			for _, r := range reps {
+				if r == node {
+					hit = append(hit, key)
+					break
+				}
+			}
+		}
+		sort.Strings(hit)
+		for _, key := range hit {
+			reps := h.replicas[key][:0]
+			for _, r := range h.replicas[key] {
+				if r != node {
+					reps = append(reps, r)
+				}
+			}
+			if len(reps) == 0 {
+				delete(h.placements, key)
+				delete(h.homes, key)
+				delete(h.replicas, key)
+				delete(h.repairQueue, key)
+				h.replStats.LostKeys++
+				continue
+			}
+			h.replicas[key] = reps
+			if h.homes[key] == node {
+				h.homes[key] = reps[0]
+			}
+			h.repairQueue[key] = true
+		}
+		h.scheduleRepair()
 	}
 	for key, home := range h.homes {
 		if home == node {
@@ -521,6 +772,61 @@ func (h *Hybrid) DropWorker(node string) {
 		}
 	}
 	m.Clear()
+}
+
+// scheduleRepair arms one repair pass repairDelay from now (idempotent
+// while a pass is pending — repeated kills coalesce into the next pass).
+func (h *Hybrid) scheduleRepair() {
+	if h.repairEv != nil || len(h.repairQueue) == 0 {
+		return
+	}
+	h.repairEv = h.remote.env.Schedule(h.repairDelay, h.repairPass)
+}
+
+// repairPass restores the replication factor for every queued key by
+// copying from a surviving replica to live workers with quota, in sorted
+// key order. One bounded pass: keys that still can't be repaired (no
+// survivor readable, or no capacity anywhere) are dropped from the queue —
+// the next DropWorker re-queues whatever it touches.
+func (h *Hybrid) repairPass() {
+	h.repairEv = nil
+	keys := make([]string, 0, len(h.repairQueue))
+	for key := range h.repairQueue {
+		keys = append(keys, key)
+	}
+	sort.Strings(keys)
+	h.repairQueue = map[string]bool{}
+	for _, key := range keys {
+		reps := h.replicas[key]
+		if len(reps) == 0 || len(reps) >= h.replFactor {
+			continue
+		}
+		src := ""
+		for _, r := range reps {
+			if m := h.mem[r]; m != nil && m.Has(key) && h.nodeAlive(r) {
+				src = r
+				break
+			}
+		}
+		if src == "" {
+			continue
+		}
+		size, _ := h.mem[src].Size(key)
+		for _, cand := range h.workerOrder {
+			if len(h.replicas[key]) >= h.replFactor {
+				break
+			}
+			if !h.nodeAlive(cand) || h.mem[cand] == nil || h.mem[cand].Has(key) {
+				continue
+			}
+			if !h.mem[cand].TryPut(key, size, nil) {
+				continue
+			}
+			h.replicas[key] = append(h.replicas[key], cand)
+			h.replStats.ReReplications++
+			h.remote.fab.Send(src, cand, size, func() {})
+		}
+	}
 }
 
 // LocalHits reports how many Gets were served from worker memory.
