@@ -16,12 +16,16 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/network"
+	"repro/internal/perf"
 )
 
 // csvDir, when set, receives each experiment's table as <name>.csv.
@@ -71,6 +75,12 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "run only the chaos availability scenario (shorthand for -run chaos)")
 		overload = flag.Bool("overload", false, "run only the overload-control scenario (shorthand for -run overload)")
 		durable  = flag.Bool("durable", false, "run only the durable-execution scenario (shorthand for -run durable)")
+
+		benchjson  = flag.String("benchjson", "", "run the perf suite and write a BENCH snapshot to this file (skips experiments unless -run is passed explicitly)")
+		benchquick = flag.Bool("benchquick", false, "shrink the perf suite's macro scenarios (CI smoke)")
+		benchseq   = flag.Int("benchseq", -1, "BENCH snapshot sequence number (default: inferred from a BENCH_<n>.json filename, else 0)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile taken at the end of the run to this file")
 	)
 	flag.StringVar(&csvDir, "csv", "", "also write each experiment's table as CSV into this directory")
 	flag.StringVar(&svgDir, "svg", "", "also write each experiment's figure as SVG into this directory")
@@ -79,6 +89,39 @@ func main() {
 	flag.StringVar(&overloadSnapDir, "overload-snapshots", "", "write each overload rate point's flight-recorder snapshot into this directory")
 	flag.StringVar(&durableSnapDir, "durable-snapshots", "", "write each durable mode×scenario's flight-recorder snapshot into this directory")
 	flag.Parse()
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "faasflow-experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "faasflow-experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		// Heap profile at normal exit; error paths os.Exit and skip it, as
+		// a partial profile of a failed run would mislead more than help.
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "faasflow-experiments:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "faasflow-experiments:", err)
+			}
+		}()
+	}
+	if *benchjson != "" && !flagPassed("run") {
+		// A bare -benchjson runs only the perf suite; experiments still run
+		// when -run is given alongside.
+		*run = ""
+	}
 	if *chaos {
 		*run = "chaos"
 	}
@@ -136,10 +179,62 @@ func main() {
 		}
 		fmt.Printf("snapshot: wrote %s (%d events)\n", *snap, len(s.Events))
 	}
-	if ran == 0 && *snap == "" {
+	if *benchjson != "" {
+		if err := runBench(*benchjson, *benchseq, *benchquick); err != nil {
+			fmt.Fprintln(os.Stderr, "faasflow-experiments: bench:", err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 && *snap == "" && *benchjson == "" {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable\n", *run)
 		os.Exit(1)
 	}
+}
+
+// flagPassed reports whether the named flag appeared on the command line.
+func flagPassed(name string) bool {
+	passed := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			passed = true
+		}
+	})
+	return passed
+}
+
+// runBench executes the perf suite and writes the BENCH snapshot. The
+// sequence number comes from -benchseq, or is inferred from a
+// BENCH_<n>.json filename so `-benchjson BENCH_3.json` does the obvious
+// thing.
+func runBench(path string, seq int, quick bool) error {
+	if seq < 0 {
+		seq = 0
+		base := filepath.Base(path)
+		if rest, ok := strings.CutPrefix(base, "BENCH_"); ok {
+			if num, ok := strings.CutSuffix(rest, ".json"); ok {
+				if n, err := strconv.Atoi(num); err == nil && n >= 0 {
+					seq = n
+				}
+			}
+		}
+	}
+	fmt.Printf("== bench: performance suite (seq %d, quick=%v) ==\n", seq, quick)
+	start := time.Now()
+	s, err := perf.Run(perf.RunOptions{Seq: seq, Quick: quick, Logf: func(format string, args ...any) {
+		fmt.Printf("  "+format+"\n", args...)
+	}})
+	if err != nil {
+		return err
+	}
+	data, err := s.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("bench: wrote %s (%d benchmarks, %v)\n", path, len(s.Results), time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 var experiments = []struct {

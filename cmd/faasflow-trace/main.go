@@ -9,6 +9,7 @@
 //	faasflow-trace report -bench Gen -n 20   # attribution, both patterns
 //	faasflow-trace util -bench Gen -n 20 -snapshot run.json
 //	faasflow-trace diff old.json new.json    # exit 1 on regression
+//	faasflow-trace bench diff BENCH_0.json BENCH_1.json  # perf trajectory gate
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/network"
 	"repro/internal/obs"
+	"repro/internal/perf"
 	"repro/internal/trace"
 	"repro/internal/workloads"
 )
@@ -45,6 +47,8 @@ func main() {
 		err = cmdUtil(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
+	case "bench":
+		err = cmdBench(os.Args[2:])
 	default:
 		usage()
 	}
@@ -62,7 +66,8 @@ func usage() {
   faasflow-trace report -bench NAME | -file TRACE.json [-faastore] [-n N] [-json]
   faasflow-trace util   -bench NAME[,NAME...] [-mode worker|master] [-faastore]
                         [-n N] [-storage-bw MBPS] [-snapshot OUT.json] [-json]
-  faasflow-trace diff   [-noise FRAC] [-floor DUR] [-json] OLD.json NEW.json`)
+  faasflow-trace diff   [-noise FRAC] [-floor DUR] [-json] OLD.json NEW.json
+  faasflow-trace bench diff [-tol-scale X] [-verbose] [-json] OLD_BENCH.json NEW_BENCH.json`)
 	os.Exit(2)
 }
 
@@ -310,6 +315,58 @@ func cmdUtil(args []string) error {
 	fmt.Println()
 	for _, s := range obs.SummarizeBottlenecks(ibs) {
 		fmt.Print(s.String())
+	}
+	return nil
+}
+
+// cmdBench works with BENCH_<seq>.json performance snapshots (written by
+// faasflow-experiments -benchjson). Its diff sub-subcommand mirrors the
+// flight-recorder differ but gates each metric with the tolerance baked
+// into the baseline snapshot — generous on host timing, tight on
+// deterministic domain figures — exiting non-zero on regressions.
+func cmdBench(args []string) error {
+	if len(args) < 1 || args[0] != "diff" {
+		return fmt.Errorf("usage: faasflow-trace bench diff [-tol-scale X] [-verbose] [-json] OLD.json NEW.json")
+	}
+	fs := flag.NewFlagSet("bench diff", flag.ExitOnError)
+	tolScale := fs.Float64("tol-scale", 1, "multiply every metric's tolerance (CI smoke uses 2)")
+	verbose := fs.Bool("verbose", false, "print every compared metric, not just flagged ones")
+	jsonOut := fs.Bool("json", false, "emit the diff as JSON instead of a table")
+	if err := fs.Parse(args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("want exactly two BENCH files, got %d", fs.NArg())
+	}
+	load := func(path string) (*perf.BenchSnapshot, error) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return perf.ParseBench(data)
+	}
+	oldS, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	newS, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	res := perf.DiffBench(oldS, newS, *tolScale)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(res); err != nil {
+			return err
+		}
+	} else if *verbose {
+		fmt.Print(res.VerboseString())
+	} else {
+		fmt.Print(res.String())
+	}
+	if res.Regressions > 0 {
+		return fmt.Errorf("%d perf regression(s) detected", res.Regressions)
 	}
 	return nil
 }

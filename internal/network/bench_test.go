@@ -1,0 +1,11 @@
+// External test package: perf imports network, so the wrapper lives
+// outside package network. The body is shared with the BENCH Runner.
+package network_test
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func BenchmarkFairShare(b *testing.B) { perf.BenchNetworkFairShare(b) }

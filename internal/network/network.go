@@ -111,6 +111,7 @@ type Fabric struct {
 	totalBytes int64
 	totalFlows int64
 	totalMsgs  int64
+	resolves   int64
 
 	bus        *obs.Bus
 	nextFlowID int64
@@ -412,6 +413,7 @@ func (f *Fabric) resolve() {
 	if len(f.flows) == 0 {
 		return
 	}
+	f.resolves++
 	ordered := make([]*Flow, 0, len(f.flows))
 	for fl := range f.flows {
 		ordered = append(ordered, fl)
@@ -516,6 +518,11 @@ func (f *Fabric) complete(fl *Flow) {
 
 // ActiveFlows reports how many bulk transfers are currently in flight.
 func (f *Fabric) ActiveFlows() int { return len(f.flows) }
+
+// Resolves reports how many times the max-min fair-share solver has run
+// over a non-empty flow set — the hot-path cost driver the perf suite
+// tracks (every flow join, completion, and capacity change re-solves).
+func (f *Fabric) Resolves() int64 { return f.resolves }
 
 // Stats is a snapshot of fabric byte accounting.
 type Stats struct {

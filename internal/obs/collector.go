@@ -4,6 +4,7 @@ package obs
 // the series behind the gateway's GET /metrics endpoint. Metric names and
 // labels are documented in docs/OBSERVABILITY.md.
 type Collector struct {
+	events      *Counter
 	invocations *Counter
 	invSeconds  *Histogram
 	steps       *Counter
@@ -42,6 +43,8 @@ type Collector struct {
 // a collector ready to attach: bus.Subscribe(c.Handle).
 func NewCollector(reg *Registry) *Collector {
 	return &Collector{
+		events: reg.Counter("faasflow_obs_events_total",
+			"Bus events consumed by the collector — the observability layer's own traffic, for self-overhead accounting.", "kind"),
 		invocations: reg.Counter("faasflow_invocations_total",
 			"Completed workflow invocations.", "workflow", "mode", "result"),
 		invSeconds: reg.Histogram("faasflow_invocation_seconds",
@@ -111,6 +114,7 @@ func NewCollector(reg *Registry) *Collector {
 
 // Handle consumes one bus event; it is the Subscribe handler.
 func (c *Collector) Handle(ev Event) {
+	c.events.Inc(ev.Kind())
 	switch e := ev.(type) {
 	case InvocationEvent:
 		if e.End {

@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Self-overhead accounting at the obs layer itself: the events-published
+// counter gives operators the collector's own traffic volume, and the
+// Active() guard pattern keeps publishing free when nobody listens.
+
+func TestCollectorCountsOwnTraffic(t *testing.T) {
+	reg := NewRegistry()
+	c := NewCollector(reg)
+	bus := NewBus()
+	bus.Subscribe(c.Handle)
+
+	bus.Publish(StepEvent{Workflow: "wf", State: StepTriggered})
+	bus.Publish(StepEvent{Workflow: "wf", State: StepCompleted})
+	bus.Publish(MsgEvent{Bytes: 128})
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `faasflow_obs_events_total{kind="step"} 2`) {
+		t.Errorf("step events not counted:\n%s", out)
+	}
+	if !strings.Contains(out, `faasflow_obs_events_total{kind="msg"} 1`) {
+		t.Errorf("msg events not counted:\n%s", out)
+	}
+}
+
+// TestInactivePublishZeroAlloc pins the guard pattern's contract: when the
+// bus is nil or has no subscribers, a publish site that checks Active()
+// first performs zero allocations — constructing the event value on the
+// stack and never boxing it into the Event interface.
+func TestInactivePublishZeroAlloc(t *testing.T) {
+	publishGuarded := func(b *Bus) {
+		if b.Active() {
+			b.Publish(StepEvent{Workflow: "wf", State: StepTriggered})
+		}
+	}
+	var nilBus *Bus
+	if allocs := testing.AllocsPerRun(1000, func() { publishGuarded(nilBus) }); allocs != 0 {
+		t.Fatalf("guarded publish on nil bus allocates %v per call, want 0", allocs)
+	}
+	idle := NewBus()
+	if allocs := testing.AllocsPerRun(1000, func() { publishGuarded(idle) }); allocs != 0 {
+		t.Fatalf("guarded publish on idle bus allocates %v per call, want 0", allocs)
+	}
+}

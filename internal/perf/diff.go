@@ -1,0 +1,191 @@
+package perf
+
+import (
+	"fmt"
+	"strings"
+)
+
+// This file implements trajectory diffing over BENCH snapshots, mirroring
+// the obs snapshot differ: per-metric deltas gated by each metric's own
+// tolerance class, suitable for CI (`faasflow-trace bench diff old new`
+// exits non-zero on regressions). Unlike the obs differ, thresholds live
+// in the snapshot itself — a timing metric carries a generous tolerance, a
+// deterministic domain figure a tight one — and the caller may scale them
+// all (CI smoke passes scale 2 to absorb shared-runner noise).
+
+// BenchDelta is one compared metric of one benchmark.
+type BenchDelta struct {
+	Bench string  `json:"bench"`
+	Unit  string  `json:"unit"`
+	Class string  `json:"class"`
+	Old   float64 `json:"old"`
+	New   float64 `json:"new"`
+	// Frac is the relative worsening: positive means the new value is
+	// worse, already direction-corrected for HigherIsBetter metrics.
+	Frac float64 `json:"frac"`
+	// Tol is the effective (scaled) tolerance the delta was gated with.
+	Tol         float64 `json:"tol"`
+	Regression  bool    `json:"regression"`
+	Improvement bool    `json:"improvement"`
+}
+
+// BenchDiffResult is the full comparison of two BENCH snapshots.
+type BenchDiffResult struct {
+	OldSeq int          `json:"oldSeq"`
+	NewSeq int          `json:"newSeq"`
+	Deltas []BenchDelta `json:"deltas"`
+	// Missing lists benchmarks or metrics present in only one snapshot —
+	// reported, never gated on.
+	Missing      []string `json:"missing,omitempty"`
+	Regressions  int      `json:"regressions"`
+	Improvements int      `json:"improvements"`
+}
+
+// DiffBench compares two snapshots metric by metric. tolScale multiplies
+// every metric's baked-in tolerance; 0 means 1 (use them as-is).
+func DiffBench(oldS, newS *BenchSnapshot, tolScale float64) *BenchDiffResult {
+	if tolScale <= 0 {
+		tolScale = 1
+	}
+	res := &BenchDiffResult{OldSeq: oldS.Seq, NewSeq: newS.Seq}
+	seen := map[string]bool{}
+	for _, or := range oldS.Results {
+		seen[or.Name] = true
+		nr, ok := newS.Result(or.Name)
+		if !ok {
+			res.Missing = append(res.Missing, or.Name+": only in old snapshot")
+			continue
+		}
+		for _, om := range or.Metrics {
+			nm, ok := nr.Metric(om.Unit)
+			if !ok {
+				res.Missing = append(res.Missing, fmt.Sprintf("%s %s: only in old snapshot", or.Name, om.Unit))
+				continue
+			}
+			res.add(compareMetric(or.Name, om, nm, tolScale))
+		}
+		for _, nm := range nr.Metrics {
+			if _, ok := or.Metric(nm.Unit); !ok {
+				res.Missing = append(res.Missing, fmt.Sprintf("%s %s: only in new snapshot", nr.Name, nm.Unit))
+			}
+		}
+	}
+	for _, nr := range newS.Results {
+		if !seen[nr.Name] {
+			res.Missing = append(res.Missing, nr.Name+": only in new snapshot")
+		}
+	}
+	return res
+}
+
+func (r *BenchDiffResult) add(d BenchDelta) {
+	if d.Regression {
+		r.Regressions++
+	}
+	if d.Improvement {
+		r.Improvements++
+	}
+	r.Deltas = append(r.Deltas, d)
+}
+
+// compareMetric gates one old/new pair with the old snapshot's tolerance
+// (the baseline decides how strictly it may be compared against).
+func compareMetric(bench string, om, nm Metric, tolScale float64) BenchDelta {
+	d := BenchDelta{
+		Bench: bench, Unit: om.Unit, Class: om.Class,
+		Old: om.Value, New: nm.Value, Tol: om.Tol * tolScale,
+	}
+	// worse: did the value move in the bad direction?
+	worse := nm.Value > om.Value
+	if om.HigherIsBetter {
+		worse = nm.Value < om.Value
+	}
+	switch {
+	case om.Value == nm.Value:
+		// Unchanged — in particular a zero staying zero, which is how the
+		// zero-alloc gates ride through the differ.
+	case om.Value == 0:
+		// A metric coming off zero has no relative scale. Allocation
+		// counts are exact, so any appearance is a regression; timing
+		// noise off zero is ignored.
+		d.Frac = 1
+		d.Regression = worse && om.Class == ClassAlloc
+		d.Improvement = !worse
+	case nm.Value == 0:
+		// Dropping to zero is categorical: a throughput that vanished is
+		// a regression no matter the tolerance; a cost that vanished is
+		// an improvement.
+		d.Frac = 1
+		if !worse {
+			d.Frac = -1
+		}
+		d.Regression = worse
+		d.Improvement = !worse
+	case om.Value < 0 || nm.Value < 0:
+		// Negative or sign-crossing values (a reduction figure going
+		// negative) have no multiplicative magnitude; gate on the plain
+		// relative change against the old magnitude.
+		mag := (nm.Value - om.Value) / om.Value
+		if mag < 0 {
+			mag = -mag
+		}
+		d.Frac = mag
+		if !worse {
+			d.Frac = -mag
+		}
+		d.Regression = worse && mag > d.Tol
+		d.Improvement = !worse && mag > d.Tol
+	default:
+		// Symmetric multiplicative magnitude: how many times the value
+		// changed, minus one. Tol 1.0 therefore reads "up to 2x worse",
+		// and a throughput halving and a latency doubling gate alike.
+		mag := om.Value/nm.Value - 1
+		if nm.Value > om.Value {
+			mag = nm.Value/om.Value - 1
+		}
+		d.Frac = mag
+		if !worse {
+			d.Frac = -mag
+		}
+		if worse && mag > d.Tol {
+			d.Regression = true
+		}
+		if !worse && mag > d.Tol {
+			d.Improvement = true
+		}
+	}
+	return d
+}
+
+// String renders the diff as an aligned table with a verdict line. By
+// default only regressions, improvements, and missing entries print;
+// Verbose includes every compared metric.
+func (r *BenchDiffResult) String() string { return r.render(false) }
+
+// VerboseString renders every compared metric, not just the flagged ones.
+func (r *BenchDiffResult) VerboseString() string { return r.render(true) }
+
+func (r *BenchDiffResult) render(verbose bool) string {
+	var sb strings.Builder
+	for _, d := range r.Deltas {
+		mark := " "
+		switch {
+		case d.Regression:
+			mark = "!"
+		case d.Improvement:
+			mark = "+"
+		default:
+			if !verbose {
+				continue
+			}
+		}
+		fmt.Fprintf(&sb, "%s %-26s %-18s %12.4g -> %-12.4g %+7.1f%% (tol %.0f%%)\n",
+			mark, d.Bench, d.Unit, d.Old, d.New, 100*d.Frac, 100*d.Tol)
+	}
+	for _, m := range r.Missing {
+		fmt.Fprintf(&sb, "? %s\n", m)
+	}
+	fmt.Fprintf(&sb, "%d compared, %d regression(s), %d improvement(s)\n",
+		len(r.Deltas), r.Regressions, r.Improvements)
+	return sb.String()
+}

@@ -1,0 +1,152 @@
+// Package perf is the performance-observability subsystem: it turns the
+// repo's one-off benchmarks into a tracked trajectory.
+//
+// Three layers:
+//
+//   - Micro-benchmark bodies (micro.go) over the hot paths the ROADMAP
+//     names — the sim event kernel, the network fair-share solver, engine
+//     dispatch under both scheduling patterns (with the observability bus
+//     off, idle, and collecting), and Hybrid store Put/Get. Each body takes
+//     a *testing.B, so the per-package bench_test.go files and the Runner
+//     execute the exact same code.
+//   - A Runner (runner.go) that executes the micro suite plus a macro
+//     scenario (Genome-class workflow × N concurrent invocations on the
+//     paper's 8-node cluster, and a 100-node scale probe) and emits a
+//     schema-versioned BENCH_<seq>.json snapshot.
+//   - A regression differ (diff.go) with per-metric tolerance thresholds,
+//     the engine behind `faasflow-trace bench diff` and the bench-smoke CI
+//     gate.
+//
+// Snapshots separate deterministic metrics (simulated-domain figures,
+// allocation counts — identical across machines for the same code) from
+// host-timing metrics (ns/op, events/sec — comparable only loosely), and
+// each metric carries its own tolerance so the differ gates tightly where
+// it can and generously where it must.
+package perf
+
+import (
+	"encoding/json"
+	"fmt"
+	"runtime"
+)
+
+// BenchVersion is the current BENCH_*.json schema version.
+const BenchVersion = 1
+
+// Metric classes: how a value may be compared across snapshots.
+const (
+	// ClassTime is host wall-clock timing (ns/op, events/sec): machine- and
+	// load-dependent, gated only with a generous tolerance.
+	ClassTime = "time"
+	// ClassAlloc is an allocation count or byte count per op: deterministic
+	// for a given code + Go version, up to benchmark-loop amortization.
+	ClassAlloc = "alloc"
+	// ClassDomain is a simulated-domain figure (sim latency, event counts,
+	// reduction percentages): bit-identical across machines for the same
+	// code, gated tightly.
+	ClassDomain = "domain"
+)
+
+// Metric is one measured value of one benchmark.
+type Metric struct {
+	// Unit labels the value ("ns/op", "allocs/op", "events/sec", "p99-ms").
+	Unit  string  `json:"unit"`
+	Value float64 `json:"value"`
+	// Class is ClassTime, ClassAlloc, or ClassDomain.
+	Class string `json:"class"`
+	// HigherIsBetter flips the regression direction (throughputs, ratios).
+	HigherIsBetter bool `json:"higherIsBetter,omitempty"`
+	// Tol is the allowed relative worsening before the differ flags a
+	// regression (0.10 = new may be 10% worse). The CLI can scale it.
+	Tol float64 `json:"tol"`
+}
+
+// BenchResult is one benchmark's measurements.
+type BenchResult struct {
+	// Name is the stable benchmark identity ("sim/event-kernel",
+	// "engine/dispatch-workersp", "macro/genome-8node", ...).
+	Name string `json:"name"`
+	// Iterations is b.N for micro-benchmarks, invocation count for macros.
+	Iterations int      `json:"iterations"`
+	Metrics    []Metric `json:"metrics"`
+}
+
+// Metric looks up one metric by unit.
+func (r *BenchResult) Metric(unit string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Unit == unit {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// HostInfo describes the machine a snapshot was taken on. It never enters
+// the diff — two snapshots from different hosts compare fine (that is what
+// the tolerance classes are for) — but trajectory readers need it to judge
+// how comparable the timing metrics are.
+type HostInfo struct {
+	GoVersion string `json:"goVersion"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"numCPU"`
+}
+
+// Host captures the current process's host info.
+func Host() HostInfo {
+	return HostInfo{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+}
+
+// BenchSnapshot is one BENCH_<seq>.json artifact: a point on the repo's
+// performance trajectory.
+type BenchSnapshot struct {
+	Version int      `json:"version"`
+	Seq     int      `json:"seq"`
+	Host    HostInfo `json:"host"`
+	// Quick marks a reduced-size run (CI smoke); quick and full snapshots
+	// still diff, the tolerances absorb the difference in iteration counts.
+	Quick   bool          `json:"quick,omitempty"`
+	Results []BenchResult `json:"results"`
+}
+
+// Result looks up one benchmark by name.
+func (s *BenchSnapshot) Result(name string) (BenchResult, bool) {
+	for _, r := range s.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return BenchResult{}, false
+}
+
+// Marshal renders the snapshot as indented JSON with a trailing newline.
+func (s *BenchSnapshot) Marshal() ([]byte, error) {
+	data, err := json.MarshalIndent(s, "", " ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParseBench decodes a BENCH snapshot and checks its version.
+func ParseBench(data []byte) (*BenchSnapshot, error) {
+	var probe struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("perf: not a BENCH snapshot: %w", err)
+	}
+	if probe.Version != BenchVersion {
+		return nil, fmt.Errorf("perf: BENCH version %d, this build reads version %d", probe.Version, BenchVersion)
+	}
+	s := &BenchSnapshot{}
+	if err := json.Unmarshal(data, s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}

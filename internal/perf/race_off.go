@@ -1,0 +1,8 @@
+//go:build !race
+
+package perf
+
+// raceEnabled reports whether the race detector is compiled in. Timing
+// assertions are skipped under -race: the detector's per-access overhead
+// distorts the obs-on/obs-off ratio far past any honest budget.
+const raceEnabled = false

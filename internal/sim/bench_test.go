@@ -1,0 +1,15 @@
+// Package sim_test wraps the shared perf benchmark bodies so `go test
+// -bench` in this package exercises the event kernel exactly as the BENCH
+// snapshot Runner does (external test package: perf imports sim, so the
+// wrapper must live outside package sim to avoid a cycle).
+package sim_test
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func BenchmarkEventKernel(b *testing.B) { perf.BenchSimKernel(b) }
+
+func BenchmarkEventCancel(b *testing.B) { perf.BenchSimCancel(b) }

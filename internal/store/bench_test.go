@@ -1,0 +1,13 @@
+// External test package: perf imports store, so the wrappers live
+// outside package store. Bodies are shared with the BENCH Runner.
+package store_test
+
+import (
+	"testing"
+
+	"repro/internal/perf"
+)
+
+func BenchmarkHybridLocal(b *testing.B) { perf.BenchStoreHybrid(b, true) }
+
+func BenchmarkHybridRemote(b *testing.B) { perf.BenchStoreHybrid(b, false) }
