@@ -26,6 +26,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/perf"
+	"repro/internal/whatif"
 )
 
 // csvDir, when set, receives each experiment's table as <name>.csv.
@@ -77,6 +78,9 @@ func main() {
 		durable  = flag.Bool("durable", false, "run only the durable-execution scenario (shorthand for -run durable)")
 
 		benchjson  = flag.String("benchjson", "", "run the perf suite and write a BENCH snapshot to this file (skips experiments unless -run is passed explicitly)")
+		whatifOut  = flag.String("whatif", "", "run the causal what-if sweep on Genome and write the profile JSON to this file (skips experiments unless -run is passed explicitly)")
+		whatifN    = flag.Int("whatif-n", 200, "invocations per what-if counterfactual run (CI smoke uses a small value)")
+		whatifW    = flag.Int("whatif-width", 50, "Genome workflow width for the what-if sweep")
 		benchquick = flag.Bool("benchquick", false, "shrink the perf suite's macro scenarios (CI smoke)")
 		benchseq   = flag.Int("benchseq", -1, "BENCH snapshot sequence number (default: inferred from a BENCH_<n>.json filename, else 0)")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
@@ -117,9 +121,9 @@ func main() {
 			}
 		}()
 	}
-	if *benchjson != "" && !flagPassed("run") {
-		// A bare -benchjson runs only the perf suite; experiments still run
-		// when -run is given alongside.
+	if (*benchjson != "" || *whatifOut != "") && !flagPassed("run") {
+		// A bare -benchjson or -whatif runs only that suite; experiments
+		// still run when -run is given alongside.
 		*run = ""
 	}
 	if *chaos {
@@ -185,7 +189,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	if ran == 0 && *snap == "" && *benchjson == "" {
+	if *whatifOut != "" {
+		if err := runWhatIf(*whatifOut, *whatifW, *whatifN); err != nil {
+			fmt.Fprintln(os.Stderr, "faasflow-experiments: whatif:", err)
+			os.Exit(1)
+		}
+	}
+	if ran == 0 && *snap == "" && *benchjson == "" && *whatifOut == "" {
 		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable\n", *run)
 		os.Exit(1)
 	}
@@ -234,6 +244,33 @@ func runBench(path string, seq int, quick bool) error {
 		return err
 	}
 	fmt.Printf("bench: wrote %s (%d benchmarks, %v)\n", path, len(s.Results), time.Since(start).Round(time.Millisecond))
+	return nil
+}
+
+// runWhatIf executes the full virtual-speedup sweep on the canonical Genome
+// scenario and writes the causal-profile artifact. The sweep is exact and
+// deterministic: same width, n, and seed produce a byte-identical file,
+// which is what the CI whatif smoke job diffs.
+func runWhatIf(path string, width, n int) error {
+	fmt.Printf("== whatif: causal sweep (Genome width %d, n %d) ==\n", width, n)
+	start := time.Now()
+	prof, err := whatif.Sweep(whatif.GenomeScenario(width, n), nil)
+	if err != nil {
+		return err
+	}
+	data, err := prof.Marshal()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	points := 0
+	for _, c := range prof.Curves {
+		points += len(c.Points)
+	}
+	fmt.Printf("whatif: wrote %s (%d curves, %d counterfactual points, %v)\n",
+		path, len(prof.Curves), points, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

@@ -8,6 +8,7 @@
 //	faasflow-trace run -file genome-like.json -mode worker -n 50
 //	faasflow-trace report -bench Gen -n 20   # attribution, both patterns
 //	faasflow-trace util -bench Gen -n 20 -snapshot run.json
+//	faasflow-trace explain -bench Gen -n 200 # causal what-if ranking
 //	faasflow-trace diff old.json new.json    # exit 1 on regression
 //	faasflow-trace bench diff BENCH_0.json BENCH_1.json  # perf trajectory gate
 package main
@@ -26,6 +27,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perf"
 	"repro/internal/trace"
+	"repro/internal/whatif"
 	"repro/internal/workloads"
 )
 
@@ -45,6 +47,8 @@ func main() {
 		err = cmdReport(os.Args[2:])
 	case "util":
 		err = cmdUtil(os.Args[2:])
+	case "explain":
+		err = cmdExplain(os.Args[2:])
 	case "diff":
 		err = cmdDiff(os.Args[2:])
 	case "bench":
@@ -66,6 +70,8 @@ func usage() {
   faasflow-trace report -bench NAME | -file TRACE.json [-faastore] [-n N] [-json]
   faasflow-trace util   -bench NAME[,NAME...] [-mode worker|master] [-faastore]
                         [-n N] [-storage-bw MBPS] [-snapshot OUT.json] [-json]
+  faasflow-trace explain [-bench NAME] [-mode worker|master] [-faastore] [-n N]
+                        [-warmup K] [-tol FRAC] [-sweep OUT.json] [-json] [-gate]
   faasflow-trace diff   [-noise FRAC] [-floor DUR] [-json] OLD.json NEW.json
   faasflow-trace bench diff [-tol-scale X] [-verbose] [-json] OLD_BENCH.json NEW_BENCH.json`)
 	os.Exit(2)
@@ -315,6 +321,71 @@ func cmdUtil(args []string) error {
 	fmt.Println()
 	for _, s := range obs.SummarizeBottlenecks(ibs) {
 		fmt.Print(s.String())
+	}
+	return nil
+}
+
+// cmdExplain runs the causal what-if profiler: every cost dimension is
+// virtually sped up by re-executing the identical scenario with that cost
+// scaled, and the dimensions are ranked by the measured ×0.5 gain. Each
+// prediction from the critical-path breakdown is validated against the
+// measured counterfactual; -gate makes a disagreement exit non-zero.
+func cmdExplain(args []string) error {
+	fs := flag.NewFlagSet("explain", flag.ExitOnError)
+	bench := fs.String("bench", "Gen", "benchmark to profile (Cyc, Epi, Gen, Soy, Vid, IR, FP, WC)")
+	mode := fs.String("mode", "worker", "worker or master")
+	faastore := fs.Bool("faastore", true, "enable FaaStore")
+	n := fs.Int("n", 200, "closed-loop invocations per counterfactual run")
+	warmup := fs.Int("warmup", 2, "warmup invocations excluded from attribution")
+	tol := fs.Float64("tol", whatif.DefaultTolerance, "predicted-vs-measured agreement tolerance (fraction of baseline mean)")
+	sweepOut := fs.String("sweep", "", "write the full sweep profile JSON here")
+	jsonOut := fs.Bool("json", false, "emit the explanation as JSON instead of the report")
+	gate := fs.Bool("gate", false, "exit non-zero when any dimension fails the agreement gate")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b := workloads.ByName(*bench)
+	if b == nil {
+		return fmt.Errorf("unknown benchmark %q", *bench)
+	}
+	m := engine.ModeWorkerSP
+	if *mode == "master" {
+		m = engine.ModeMasterSP
+	} else if *mode != "worker" {
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	sc := whatif.Scenario{
+		Bench:  b,
+		Spec:   harness.ClusterSpec{FaaStore: *faastore},
+		Opts:   engine.Options{Mode: m, Data: engine.DataStore},
+		Warmup: *warmup,
+		N:      *n,
+	}
+	ex, err := whatif.Explain(sc, nil, *tol)
+	if err != nil {
+		return err
+	}
+	if *sweepOut != "" {
+		data, err := ex.Profile.Marshal()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*sweepOut, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s (%d curves)\n", *sweepOut, len(ex.Profile.Curves))
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(ex); err != nil {
+			return err
+		}
+	} else {
+		fmt.Print(ex.String())
+	}
+	if *gate && ex.Discrepancies > 0 {
+		return fmt.Errorf("%d dimension(s) failed the predicted-vs-measured gate", ex.Discrepancies)
 	}
 	return nil
 }

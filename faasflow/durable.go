@@ -65,7 +65,7 @@ func (c *Cluster) DeployDurable(wf *Workflow, mode Mode, dur Durability) (*App, 
 			return node == nil || !node.Failed()
 		})
 	}
-	dep, err := c.tb.Deploy(wf.bench, engine.Options{
+	opts := engine.Options{
 		Mode:        m,
 		Data:        engine.DataStore,
 		Journal:     journal.New(c.tb.Env, journal.Config{SyncLatency: dur.SyncLatency, BatchWindow: dur.BatchWindow}),
@@ -73,11 +73,12 @@ func (c *Cluster) DeployDurable(wf *Workflow, mode Mode, dur Durability) (*App, 
 		BackoffBase: rec.BackoffBase,
 		BackoffMax:  rec.BackoffMax,
 		MaxReissues: rec.MaxReissues,
-	})
+	}
+	dep, err := c.tb.Deploy(wf.bench, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &App{cluster: c, dep: dep}, nil
+	return &App{cluster: c, dep: dep, opts: opts}, nil
 }
 
 // Durable reports whether the app was deployed with a journal.

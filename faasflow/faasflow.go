@@ -224,6 +224,9 @@ type App struct {
 	cluster *Cluster
 	dep     *harness.Deployment
 	tracer  *engine.Tracer
+	// opts records the deployment options so what-if analysis can replay
+	// this exact configuration on a fresh testbed.
+	opts engine.Options
 }
 
 // StartTrace begins recording per-executor phase spans (container acquire,
@@ -250,11 +253,12 @@ func (c *Cluster) Deploy(wf *Workflow, mode Mode) (*App, error) {
 	if mode == MasterSP {
 		m = engine.ModeMasterSP
 	}
-	dep, err := c.tb.Deploy(wf.bench, engine.Options{Mode: m, Data: engine.DataStore})
+	opts := engine.Options{Mode: m, Data: engine.DataStore}
+	dep, err := c.tb.Deploy(wf.bench, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &App{cluster: c, dep: dep}, nil
+	return &App{cluster: c, dep: dep, opts: opts}, nil
 }
 
 // Stats summarizes a batch of invocations.

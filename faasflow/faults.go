@@ -134,18 +134,19 @@ func (c *Cluster) DeployWithRecovery(wf *Workflow, mode Mode, rec Recovery) (*Ap
 	if mode == MasterSP {
 		m = engine.ModeMasterSP
 	}
-	dep, err := c.tb.Deploy(wf.bench, engine.Options{
+	opts := engine.Options{
 		Mode:        m,
 		Data:        engine.DataStore,
 		TaskTimeout: rec.TaskTimeout,
 		BackoffBase: rec.BackoffBase,
 		BackoffMax:  rec.BackoffMax,
 		MaxReissues: rec.MaxReissues,
-	})
+	}
+	dep, err := c.tb.Deploy(wf.bench, opts)
 	if err != nil {
 		return nil, err
 	}
-	return &App{cluster: c, dep: dep}, nil
+	return &App{cluster: c, dep: dep, opts: opts}, nil
 }
 
 // FailureStats aggregates an app's failure and recovery counters.

@@ -1,0 +1,80 @@
+package faasflow
+
+import (
+	"repro/internal/whatif"
+)
+
+// This file surfaces the causal what-if profiler (internal/whatif): exact
+// counterfactual re-simulation of a deployed app's scenario with one cost
+// dimension virtually scaled. Because the simulator is deterministic, "what
+// would latency be if X were twice as fast" has an exact answer — the
+// counterfactual is simply executed on a fresh replica of the cluster, with
+// placement inputs untouched so only the dimension's causal contribution
+// moves.
+
+// Dimension identifies one virtually-scalable cost source: DimExec,
+// DimColdStart, DimNetwork, DimStore, or DimControl.
+type Dimension = whatif.Dimension
+
+// The scalable cost dimensions.
+const (
+	DimExec      = whatif.DimExec
+	DimColdStart = whatif.DimColdStart
+	DimNetwork   = whatif.DimNetwork
+	DimStore     = whatif.DimStore
+	DimControl   = whatif.DimControl
+)
+
+// Perturbation is one counterfactual: scale Dim's cost by Factor (1 =
+// baseline, 0.5 = half, 0 = free). Function restricts DimExec to a single
+// function.
+type Perturbation = whatif.Perturbation
+
+// WhatIfResult is one counterfactual run's exact measurements.
+type WhatIfResult = whatif.RunResult
+
+// CausalProfile is the full virtual-speedup sweep artifact: a baseline plus
+// one speedup curve per dimension. Marshal is deterministic — same app,
+// same n, byte-identical bytes.
+type CausalProfile = whatif.Profile
+
+// Explanation is the ranked causal report: dimensions ordered by measured
+// ×0.5 gain, each validated against its breakdown-based prediction and
+// joined with utilization evidence. String() renders it for terminals.
+type Explanation = whatif.Explanation
+
+// scenario reconstructs the app's deployment as a replayable what-if
+// scenario: same workload, same cluster spec (and thus the same placement
+// seed), same engine options. The counterfactual runs on a fresh testbed so
+// the live app's state is never perturbed.
+func (a *App) scenario(n int) whatif.Scenario {
+	return whatif.Scenario{
+		Bench: a.dep.Bench,
+		Spec:  a.cluster.tb.Spec,
+		Opts:  a.opts,
+		N:     n,
+	}
+}
+
+// WhatIf answers "what would this app's latency be if p.Dim were p.Factor×
+// as expensive" by re-executing the app's exact scenario — n closed-loop
+// invocations — with the dimension virtually scaled. A nil perturbation
+// measures the baseline.
+func (a *App) WhatIf(p *Perturbation, n int) (*WhatIfResult, error) {
+	return whatif.Run(a.scenario(n), p)
+}
+
+// CausalProfile sweeps every dimension through the standard speedup ladder
+// (×0.75, ×0.5, ×0.25, ×0) over n invocations each and returns the full
+// profile.
+func (a *App) CausalProfile(n int) (*CausalProfile, error) {
+	return whatif.Sweep(a.scenario(n), nil)
+}
+
+// Explain produces the ranked "optimize X first, worth Y%" report for this
+// app over n invocations per counterfactual, validating every prediction
+// against the measured ×0.5 counterfactual (within whatif.DefaultTolerance
+// of the baseline mean; disagreements are flagged, never suppressed).
+func (a *App) Explain(n int) (*Explanation, error) {
+	return whatif.Explain(a.scenario(n), nil, 0)
+}

@@ -116,8 +116,29 @@ type Node struct {
 	// Processor-sharing CPU state.
 	running map[*cpuTask]struct{}
 
+	// coldScale multiplies Config.ColdStart at provisioning time
+	// (NewNode sets 1). Counterfactual profiling sets it so cold-start
+	// cost can change without touching the shared Config.
+	coldScale float64
+
 	stats NodeStats
 	bus   *obs.Bus
+}
+
+// SetColdStartScale multiplies this node's container cold-start latency by
+// s (s ≥ 0; 0 makes cold starts instantaneous). Warm hits are unaffected.
+// It only applies to provisioning that begins after the call.
+func (n *Node) SetColdStartScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	n.coldScale = s
+}
+
+// coldStartDelay is the effective cold-start latency under the node's
+// current scale.
+func (n *Node) coldStartDelay() time.Duration {
+	return time.Duration(float64(n.cfg.ColdStart) * n.coldScale)
 }
 
 // SetBus attaches (or detaches, with nil) an observability bus; container
@@ -225,12 +246,13 @@ func NewNode(env *sim.Env, id string, cfg Config) *Node {
 		panic(err)
 	}
 	return &Node{
-		id:      id,
-		env:     env,
-		cfg:     cfg,
-		pools:   map[string]*fnPool{},
-		live:    map[*Container]struct{}{},
-		running: map[*cpuTask]struct{}{},
+		id:        id,
+		env:       env,
+		cfg:       cfg,
+		coldScale: 1,
+		pools:     map[string]*fnPool{},
+		live:      map[*Container]struct{}{},
+		running:   map[*cpuTask]struct{}{},
 	}
 }
 
@@ -469,7 +491,7 @@ func (n *Node) pump(fn string, p *fnPool) {
 			c := &Container{Fn: fn, Node: n, id: p.nextID}
 			p.nextID++
 			n.live[c] = struct{}{}
-			n.env.Schedule(n.cfg.ColdStart, func() { w.ready(c, true, nil) })
+			n.env.Schedule(n.coldStartDelay(), func() { w.ready(c, true, nil) })
 			continue
 		}
 		return // saturated: wait for a release, destroy, or reclaim return

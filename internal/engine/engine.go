@@ -112,6 +112,12 @@ type Options struct {
 	// per executor, separately from the crash-attempt budget (default 8).
 	// An executor that exhausts its re-issues marks the invocation failed.
 	MaxReissues int
+	// ExecScale, when non-nil, multiplies each task's execution time by
+	// the returned per-function factor at dispatch. Counterfactual
+	// profiling uses it so the scheduler's placement inputs (the nominal
+	// per-function ExecSeconds) stay identical while the simulated cost
+	// changes. A factor of 0 makes execution near-instant.
+	ExecScale func(function string) float64
 	// Journal enables durable execution: every task completion is logged
 	// as a StepCommitted record before the step's state propagates, and
 	// CrashEngine/RestartEngine replay the log to resume in-flight

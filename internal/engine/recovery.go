@@ -86,6 +86,9 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 	if !d.opts.NoJitter {
 		exec *= execJitter(inv.id, id+dag.NodeID(replica)<<16)
 	}
+	if d.opts.ExecScale != nil {
+		exec *= d.opts.ExecScale(node.Function)
+	}
 
 	// abortDeadline abandons the attempt at a phase boundary once the
 	// invocation deadline is dead: the container is returned immediately

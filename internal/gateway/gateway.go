@@ -10,6 +10,7 @@
 //	GET  /workflows/{name}/journal committed step records (durable deploys)
 //	GET  /workflows/{name}/trace   Chrome trace of observed invocations
 //	GET  /workflows/{name}/bottlenecks  critical path joined with saturation
+//	GET  /workflows/{name}/explain[?n=N]  causal what-if profile, ranked
 //	GET  /benchmarks           the built-in paper workloads
 //	GET  /cluster              cumulative utilization counters
 //	GET  /utilization          per-resource occupancy timeline summaries
@@ -345,6 +346,31 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
 		_, _ = w.Write(data)
+	case action == "explain" && r.Method == http.MethodGet:
+		// Causal what-if profile: re-simulates the workflow's scenario with
+		// each cost dimension virtually scaled and ranks them by measured
+		// gain. Counterfactuals run on fresh testbed replicas, so the live
+		// deployment is untouched; n is capped because each of the ~20
+		// counterfactual runs executes n invocations inline.
+		n := 20
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed <= 0 {
+				fail(w, &httpError{http.StatusBadRequest, "invalid n"})
+				return
+			}
+			n = parsed
+		}
+		if n > 200 {
+			fail(w, &httpError{http.StatusBadRequest, "n too large (max 200 per counterfactual run)"})
+			return
+		}
+		ex, err := app.Explain(n)
+		if err != nil {
+			fail(w, &httpError{http.StatusInternalServerError, err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, ex)
 	case action == "bottlenecks" && r.Method == http.MethodGet:
 		all, err := s.obs.Bottlenecks()
 		if err != nil {

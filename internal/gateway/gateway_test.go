@@ -526,3 +526,42 @@ func TestJournalEndpoint(t *testing.T) {
 		t.Fatalf("non-durable journal status = %d, want 404", code)
 	}
 }
+
+func TestExplainEndpoint(t *testing.T) {
+	srv := newTestServer(t)
+	var info workflowInfo
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows",
+		map[string]any{"benchmark": "IR"}, &info); code != http.StatusCreated {
+		t.Fatalf("deploy status = %d", code)
+	}
+	var ex struct {
+		Ranked []struct {
+			Dim    string `json:"dim"`
+			GainNs int64  `json:"gainNs"`
+		} `json:"ranked"`
+		Tolerance float64 `json:"tolerance"`
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/IR/explain?n=5", nil, &ex); code != http.StatusOK {
+		t.Fatalf("explain status = %d", code)
+	}
+	if len(ex.Ranked) != 5 {
+		t.Fatalf("ranked %d dimensions, want 5", len(ex.Ranked))
+	}
+	for i := 1; i < len(ex.Ranked); i++ {
+		if ex.Ranked[i].GainNs > ex.Ranked[i-1].GainNs {
+			t.Fatalf("ranking not descending: %+v", ex.Ranked)
+		}
+	}
+	if ex.Tolerance <= 0 {
+		t.Fatalf("tolerance = %v", ex.Tolerance)
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/IR/explain?n=0", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("n=0 status = %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/IR/explain?n=10000", nil, nil); code != http.StatusBadRequest {
+		t.Fatalf("oversized n status = %d, want 400", code)
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/ghost/explain", nil, nil); code != http.StatusNotFound {
+		t.Fatalf("ghost status = %d, want 404", code)
+	}
+}

@@ -145,3 +145,38 @@ func BenchmarkHistogramObserve(b *testing.B) {
 		}
 	}
 }
+
+// TestHistogramQuantileEdges pins the quantile estimator's degenerate
+// inputs: an empty histogram, a single observation, and a population that
+// lives entirely in the overflow bucket.
+func TestHistogramQuantileEdges(t *testing.T) {
+	// Empty: every quantile is 0, no division or scan underflow.
+	h := NewHistogram(0.001, 2, 4)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Fatalf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// Single observation: every quantile (including q=0, whose rank clamps
+	// to 1) reports that sample's bucket bound.
+	h = NewHistogram(0.001, 2, 4) // bounds 1ms 2ms 4ms 8ms
+	h.Observe(0.003)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 0.004 {
+			t.Fatalf("single-sample Quantile(%v) = %v, want 0.004", q, got)
+		}
+	}
+
+	// All values past the last bound: quantiles report the observed max
+	// rather than a fictitious +Inf bound.
+	h = NewHistogram(0.001, 2, 4)
+	for _, v := range []float64{5, 7, 11} {
+		h.Observe(v)
+	}
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := h.Quantile(q); got != 11 {
+			t.Fatalf("overflow Quantile(%v) = %v, want observed max 11", q, got)
+		}
+	}
+}

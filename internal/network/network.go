@@ -58,11 +58,13 @@ func DefaultConfig() Config {
 type link struct {
 	capacity Bandwidth
 	factor   float64 // fault multiplier: 1 healthy, (0,1) degraded, 0 partitioned
+	scale    float64 // what-if multiplier: counterfactual bandwidth scaling (default 1)
 	flows    map[*Flow]struct{}
 }
 
-// effCap is the capacity currently usable, after fault degradation.
-func (l *link) effCap() float64 { return float64(l.capacity) * l.factor }
+// effCap is the capacity currently usable, after fault degradation and any
+// counterfactual scaling.
+func (l *link) effCap() float64 { return float64(l.capacity) * l.factor * l.scale }
 
 type node struct {
 	id      string
@@ -113,6 +115,11 @@ type Fabric struct {
 	totalMsgs  int64
 	resolves   int64
 
+	// latScale multiplies MsgLatency and LocalLatency at schedule time
+	// (New sets 1). Counterfactual profiling scales control-message cost
+	// without touching the shared Config.
+	latScale float64
+
 	bus        *obs.Bus
 	nextFlowID int64
 
@@ -159,11 +166,53 @@ func (f *Fabric) pubCapacity(n *node) {
 // New creates an empty fabric on env.
 func New(env *sim.Env, cfg Config) *Fabric {
 	return &Fabric{
-		env:   env,
-		cfg:   cfg,
-		nodes: make(map[string]*node),
-		flows: make(map[*Flow]struct{}),
+		env:      env,
+		cfg:      cfg,
+		latScale: 1,
+		nodes:    make(map[string]*node),
+		flows:    make(map[*Flow]struct{}),
 	}
+}
+
+// msgLat is the effective per-message propagation latency under the current
+// counterfactual scale.
+func (f *Fabric) msgLat() time.Duration {
+	return time.Duration(float64(f.cfg.MsgLatency) * f.latScale)
+}
+
+// localLat is the effective same-node RPC latency under the current
+// counterfactual scale.
+func (f *Fabric) localLat() time.Duration {
+	return time.Duration(float64(f.cfg.LocalLatency) * f.latScale)
+}
+
+// SetLatencyScale multiplies every message and same-node RPC latency by s
+// (s ≥ 0; 0 makes control messaging instantaneous). Flow serialization is
+// unaffected — use SetBandwidthScale for link speed. It applies to sends
+// that begin after the call.
+func (f *Fabric) SetLatencyScale(s float64) {
+	if s < 0 {
+		s = 0
+	}
+	f.latScale = s
+}
+
+// SetBandwidthScale multiplies every link's capacity by s (s > 0) in both
+// directions, on top of configured capacity and fault factors. Active flows
+// are re-solved immediately. Counterfactual profiling uses it to answer
+// "what if the network were k× faster" without touching the cluster spec
+// the scheduler saw.
+func (f *Fabric) SetBandwidthScale(s float64) {
+	if s <= 0 {
+		panic(fmt.Sprintf("network: non-positive bandwidth scale %v", s))
+	}
+	f.settleAll()
+	for _, id := range f.order {
+		n := f.nodes[id]
+		n.egress.scale = s
+		n.ingress.scale = s
+	}
+	f.resolve()
 }
 
 // AddNode registers a node with the given egress and ingress capacities.
@@ -177,8 +226,8 @@ func (f *Fabric) AddNode(id string, egress, ingress Bandwidth) {
 	}
 	f.nodes[id] = &node{
 		id:      id,
-		egress:  &link{capacity: egress, factor: 1, flows: map[*Flow]struct{}{}},
-		ingress: &link{capacity: ingress, factor: 1, flows: map[*Flow]struct{}{}},
+		egress:  &link{capacity: egress, factor: 1, scale: 1, flows: map[*Flow]struct{}{}},
+		ingress: &link{capacity: ingress, factor: 1, scale: 1, flows: map[*Flow]struct{}{}},
 	}
 	f.order = append(f.order, id)
 	sort.Strings(f.order)
@@ -289,7 +338,7 @@ func (f *Fabric) Send(from, to string, size int64, done func()) *Flow {
 		panic(fmt.Sprintf("network: unknown receiver %q", to))
 	}
 	if from == to {
-		f.env.Schedule(f.cfg.LocalLatency, done)
+		f.env.Schedule(f.localLat(), done)
 		return nil
 	}
 	if size == 0 {
@@ -299,7 +348,7 @@ func (f *Fabric) Send(from, to string, size int64, done func()) *Flow {
 			f.blocked = append(f.blocked, blockedMsg{from: from, to: to, done: done})
 			return nil
 		}
-		f.env.Schedule(f.cfg.MsgLatency, done)
+		f.env.Schedule(f.msgLat(), done)
 		return nil
 	}
 	f.totalFlows++
@@ -322,7 +371,7 @@ func (f *Fabric) Send(from, to string, size int64, done func()) *Flow {
 		})
 	}
 	// The flow joins the fabric after propagation latency.
-	f.env.Schedule(f.cfg.MsgLatency, func() {
+	f.env.Schedule(f.msgLat(), func() {
 		if fl.remaining <= 0 {
 			return
 		}
@@ -357,7 +406,7 @@ func (f *Fabric) SendMsg(from, to string, size int64, done func()) {
 	}
 	f.totalMsgs++
 	if from == to {
-		f.env.Schedule(f.cfg.LocalLatency, done)
+		f.env.Schedule(f.localLat(), done)
 		return
 	}
 	if f.partitioned(src, dst) {
@@ -381,7 +430,7 @@ func (f *Fabric) deliverMsg(from, to string, size int64, done func()) {
 	if f.bus.Active() {
 		f.bus.Publish(obs.MsgEvent{From: from, To: to, Bytes: size, At: f.env.Now()})
 	}
-	f.env.Schedule(f.cfg.MsgLatency+ser, done)
+	f.env.Schedule(f.msgLat()+ser, done)
 }
 
 // settleAll advances every active flow's remaining-bytes to the current

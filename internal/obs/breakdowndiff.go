@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// ComponentDelta is one critical-path component's change between two
+// aggregated summaries (for example a baseline run and a counterfactual
+// re-simulation of the same scenario).
+type ComponentDelta struct {
+	Comp Component     `json:"comp"`
+	Old  time.Duration `json:"oldNs"`
+	New  time.Duration `json:"newNs"`
+	// Delta is New − Old: negative means the component got cheaper.
+	Delta time.Duration `json:"deltaNs"`
+	// OldOnly / NewOnly mark components present on only one side's
+	// critical path — a path migration, not a measurement gap.
+	OldOnly bool `json:"oldOnly,omitempty"`
+	NewOnly bool `json:"newOnly,omitempty"`
+}
+
+// SummaryDiff compares two critical-path summaries component by component.
+// The component set is the union of both sides: a component present in only
+// one summary is reported (flagged OldOnly/NewOnly) rather than dropped,
+// because appearing or vanishing from the critical path is exactly the
+// signal a counterfactual diff exists to expose.
+type SummaryDiff struct {
+	OldCount int           `json:"oldCount"`
+	NewCount int           `json:"newCount"`
+	OldTotal time.Duration `json:"oldTotalNs"`
+	NewTotal time.Duration `json:"newTotalNs"`
+	// TotalDelta is NewTotal − OldTotal.
+	TotalDelta time.Duration `json:"totalDeltaNs"`
+	// Deltas lists every component present in either summary, in canonical
+	// component order.
+	Deltas []ComponentDelta `json:"deltas"`
+}
+
+// DiffSummaries diffs two aggregated breakdowns. Either side may be a zero
+// Summary (no invocations): every comparison degrades to the other side's
+// values and no division is attempted.
+func DiffSummaries(oldS, newS Summary) *SummaryDiff {
+	d := &SummaryDiff{
+		OldCount:   oldS.Count,
+		NewCount:   newS.Count,
+		OldTotal:   oldS.MeanTotal,
+		NewTotal:   newS.MeanTotal,
+		TotalDelta: newS.MeanTotal - oldS.MeanTotal,
+	}
+	for _, c := range Components() {
+		ov, inOld := oldS.Mean[c]
+		nv, inNew := newS.Mean[c]
+		if !inOld && !inNew {
+			continue
+		}
+		d.Deltas = append(d.Deltas, ComponentDelta{
+			Comp:    c,
+			Old:     ov,
+			New:     nv,
+			Delta:   nv - ov,
+			OldOnly: inOld && !inNew,
+			NewOnly: inNew && !inOld,
+		})
+	}
+	return d
+}
+
+// Dominant reports the component with the largest mean time on the new
+// side (zero value when the diff is empty) — where the critical path lives
+// after the change.
+func (d *SummaryDiff) Dominant() ComponentDelta {
+	var best ComponentDelta
+	for _, cd := range d.Deltas {
+		if cd.New > best.New {
+			best = cd
+		}
+	}
+	return best
+}
+
+// String renders an aligned component table with per-side shares. Shares
+// are omitted when a side has zero total, so empty summaries render
+// without dividing by zero.
+func (d *SummaryDiff) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "total %v -> %v (%+v)\n", d.OldTotal, d.NewTotal, d.TotalDelta)
+	for _, cd := range d.Deltas {
+		fmt.Fprintf(&sb, "  %-9s %12v -> %-12v %+v", cd.Comp, cd.Old, cd.New, cd.Delta)
+		switch {
+		case cd.OldOnly:
+			sb.WriteString("  (left critical path)")
+		case cd.NewOnly:
+			sb.WriteString("  (joined critical path)")
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

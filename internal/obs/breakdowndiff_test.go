@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// Summarize over zero invocations must return a usable zero value whose
+// rendering does not divide by zero.
+func TestSummarizeZeroInvocations(t *testing.T) {
+	for _, bds := range [][]*Breakdown{nil, {}} {
+		s := Summarize(bds)
+		if s.Count != 0 || s.MeanTotal != 0 {
+			t.Fatalf("Summarize(%v) = %+v, want zero", bds, s)
+		}
+		if s.Mean == nil {
+			t.Fatal("Summarize returned nil Mean map")
+		}
+		// String() percentages divide by MeanTotal; must be guarded.
+		_ = s.String()
+	}
+}
+
+func mkSummary(total time.Duration, comps map[Component]time.Duration) Summary {
+	return Summary{Count: 1, MeanTotal: total, Mean: comps}
+}
+
+// A breakdown diff over disjoint component sets must keep every component
+// from both sides and flag which side it came from.
+func TestDiffSummariesDisjointComponents(t *testing.T) {
+	oldS := mkSummary(100*time.Millisecond, map[Component]time.Duration{
+		CompExec:  80 * time.Millisecond,
+		CompFetch: 20 * time.Millisecond,
+	})
+	newS := mkSummary(60*time.Millisecond, map[Component]time.Duration{
+		CompExec:     40 * time.Millisecond,
+		CompTransfer: 20 * time.Millisecond,
+	})
+	d := DiffSummaries(oldS, newS)
+	if d.TotalDelta != -40*time.Millisecond {
+		t.Fatalf("total delta = %v", d.TotalDelta)
+	}
+	byComp := map[Component]ComponentDelta{}
+	for _, cd := range d.Deltas {
+		byComp[cd.Comp] = cd
+	}
+	if len(byComp) != 3 {
+		t.Fatalf("deltas = %+v, want exec+fetch+transfer", d.Deltas)
+	}
+	if cd := byComp[CompFetch]; !cd.OldOnly || cd.NewOnly || cd.Old != 20*time.Millisecond || cd.New != 0 {
+		t.Fatalf("fetch delta = %+v, want OldOnly with old=20ms", cd)
+	}
+	if cd := byComp[CompTransfer]; !cd.NewOnly || cd.OldOnly || cd.New != 20*time.Millisecond {
+		t.Fatalf("transfer delta = %+v, want NewOnly with new=20ms", cd)
+	}
+	if cd := byComp[CompExec]; cd.Delta != -40*time.Millisecond || cd.OldOnly || cd.NewOnly {
+		t.Fatalf("exec delta = %+v", cd)
+	}
+	out := d.String()
+	if !strings.Contains(out, "left critical path") || !strings.Contains(out, "joined critical path") {
+		t.Fatalf("render missing one-sided markers:\n%s", out)
+	}
+	if d.Dominant().Comp != CompExec {
+		t.Fatalf("dominant = %+v, want exec", d.Dominant())
+	}
+}
+
+// Diffing against an empty summary (zero invocations on one side) must not
+// panic or divide by zero, in either direction.
+func TestDiffSummariesEmptySides(t *testing.T) {
+	full := mkSummary(time.Second, map[Component]time.Duration{CompExec: time.Second})
+	for _, dir := range []struct {
+		name     string
+		old, new Summary
+	}{
+		{"empty-old", Summary{}, full},
+		{"empty-new", full, Summary{}},
+		{"empty-both", Summary{}, Summary{}},
+	} {
+		d := DiffSummaries(dir.old, dir.new)
+		_ = d.String()
+		if dir.name == "empty-both" && len(d.Deltas) != 0 {
+			t.Fatalf("empty-both produced deltas: %+v", d.Deltas)
+		}
+		if dir.name == "empty-old" {
+			if len(d.Deltas) != 1 || !d.Deltas[0].NewOnly {
+				t.Fatalf("empty-old deltas = %+v, want one NewOnly", d.Deltas)
+			}
+		}
+		if dir.name == "empty-new" {
+			if len(d.Deltas) != 1 || !d.Deltas[0].OldOnly {
+				t.Fatalf("empty-new deltas = %+v, want one OldOnly", d.Deltas)
+			}
+		}
+	}
+}
+
+// Snapshots with disjoint utilization metric families must report the
+// added and removed families explicitly, in both directions.
+func TestDiffDisjointMetricFamilies(t *testing.T) {
+	oldS := &Snapshot{Version: SnapshotVersion, Utilization: []ResourceSummary{
+		{Name: "node:w0:cpu", Kind: KindCPU},
+		{Name: "link:master:egress", Kind: KindLink},
+	}}
+	newS := &Snapshot{Version: SnapshotVersion, Utilization: []ResourceSummary{
+		{Name: "node:w0:cpu", Kind: KindCPU},
+		{Name: "queue:gen-prep", Kind: KindQueue},
+	}}
+	res := Diff(oldS, newS, DiffOptions{})
+	if len(res.AddedFamilies) != 1 || res.AddedFamilies[0] != "queue:gen-prep" {
+		t.Fatalf("added = %v, want [queue:gen-prep]", res.AddedFamilies)
+	}
+	if len(res.RemovedFamilies) != 1 || res.RemovedFamilies[0] != "link:master:egress" {
+		t.Fatalf("removed = %v, want [link:master:egress]", res.RemovedFamilies)
+	}
+	out := res.String()
+	if !strings.Contains(out, "metric family queue:gen-prep: only in new snapshot") ||
+		!strings.Contains(out, "metric family link:master:egress: only in old snapshot") {
+		t.Fatalf("render missing family report:\n%s", out)
+	}
+	// Families never gate.
+	if res.Regressions != 0 {
+		t.Fatalf("family difference counted as regression: %+v", res)
+	}
+
+	// Reverse direction swaps the lists.
+	rev := Diff(newS, oldS, DiffOptions{})
+	if len(rev.AddedFamilies) != 1 || rev.AddedFamilies[0] != "link:master:egress" {
+		t.Fatalf("reverse added = %v", rev.AddedFamilies)
+	}
+	if len(rev.RemovedFamilies) != 1 || rev.RemovedFamilies[0] != "queue:gen-prep" {
+		t.Fatalf("reverse removed = %v", rev.RemovedFamilies)
+	}
+}
+
+// ForWorkflow on a name the log never saw must return an empty, fully
+// usable log — not nil — so downstream analysis degrades to zero results.
+func TestForWorkflowUnknownName(t *testing.T) {
+	l := NewTraceLog()
+	l.Record(InvocationEvent{Workflow: "known", Inv: 1, End: true})
+	l.Record(StepEvent{Workflow: "known", Inv: 1})
+
+	sub := l.ForWorkflow("no-such-workflow")
+	if sub == nil {
+		t.Fatal("ForWorkflow returned nil")
+	}
+	if sub.Len() != 0 {
+		t.Fatalf("unknown workflow has %d events", sub.Len())
+	}
+	if wfs := sub.Workflows(); len(wfs) != 0 {
+		t.Fatalf("unknown workflow lists workflows %v", wfs)
+	}
+	if invs := sub.Invocations(); len(invs) != 0 {
+		t.Fatalf("unknown workflow lists invocations %v", invs)
+	}
+	// Analysis over the empty sub-log must yield zero breakdowns, and the
+	// zero-invocation summary must render safely.
+	bds, err := AnalyzeAll(sub)
+	if err != nil {
+		t.Fatalf("AnalyzeAll over empty log: %v", err)
+	}
+	if len(bds) != 0 {
+		t.Fatalf("empty log produced %d breakdowns", len(bds))
+	}
+	_ = Summarize(bds).String()
+}

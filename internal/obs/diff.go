@@ -54,9 +54,16 @@ type DiffResult struct {
 	Deltas []MetricDelta `json:"deltas"`
 	// Missing lists (workflow, mode) groups present in only one snapshot —
 	// reported, never gated on.
-	Missing      []string `json:"missing,omitempty"`
-	Regressions  int      `json:"regressions"`
-	Improvements int      `json:"improvements"`
+	Missing []string `json:"missing,omitempty"`
+	// AddedFamilies / RemovedFamilies list metric families (utilization
+	// resource series) present in only one snapshot. A disjoint family is
+	// not comparable, so it is reported explicitly instead of silently
+	// ignored — a vanished resource series usually means instrumentation
+	// was lost, not that the resource went idle.
+	AddedFamilies   []string `json:"addedFamilies,omitempty"`
+	RemovedFamilies []string `json:"removedFamilies,omitempty"`
+	Regressions     int      `json:"regressions"`
+	Improvements    int      `json:"improvements"`
 }
 
 // Diff compares two snapshots group by group.
@@ -119,6 +126,24 @@ func Diff(oldS, newS *Snapshot, opts DiffOptions) *DiffResult {
 			res.Missing = append(res.Missing, fmt.Sprintf("%s %s: only in new snapshot", n.Workflow, n.Mode))
 		}
 	}
+
+	// Utilization families: compare by resource name, both directions.
+	oldFam := map[string]bool{}
+	for _, u := range oldS.Utilization {
+		oldFam[u.Name] = true
+	}
+	newFam := map[string]bool{}
+	for _, u := range newS.Utilization {
+		newFam[u.Name] = true
+		if !oldFam[u.Name] {
+			res.AddedFamilies = append(res.AddedFamilies, u.Name)
+		}
+	}
+	for _, u := range oldS.Utilization {
+		if !newFam[u.Name] {
+			res.RemovedFamilies = append(res.RemovedFamilies, u.Name)
+		}
+	}
 	return res
 }
 
@@ -147,6 +172,12 @@ func (r *DiffResult) String() string {
 	}
 	for _, m := range r.Missing {
 		fmt.Fprintf(&sb, "? %s\n", m)
+	}
+	for _, f := range r.AddedFamilies {
+		fmt.Fprintf(&sb, "? metric family %s: only in new snapshot\n", f)
+	}
+	for _, f := range r.RemovedFamilies {
+		fmt.Fprintf(&sb, "? metric family %s: only in old snapshot\n", f)
 	}
 	fmt.Fprintf(&sb, "%d regression(s), %d improvement(s)\n", r.Regressions, r.Improvements)
 	return sb.String()
