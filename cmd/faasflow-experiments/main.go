@@ -76,6 +76,7 @@ func main() {
 		chaos    = flag.Bool("chaos", false, "run only the chaos availability scenario (shorthand for -run chaos)")
 		overload = flag.Bool("overload", false, "run only the overload-control scenario (shorthand for -run overload)")
 		durable  = flag.Bool("durable", false, "run only the durable-execution scenario (shorthand for -run durable)")
+		fastpath = flag.Bool("fastpath", false, "run only the data-plane fast-path scenario (shorthand for -run fastpath)")
 
 		benchjson  = flag.String("benchjson", "", "run the perf suite and write a BENCH snapshot to this file (skips experiments unless -run is passed explicitly)")
 		whatifOut  = flag.String("whatif", "", "run the causal what-if sweep on Genome and write the profile JSON to this file (skips experiments unless -run is passed explicitly)")
@@ -92,6 +93,7 @@ func main() {
 	flag.BoolVar(&noAdmission, "no-admission", false, "overload counterfactual: disable front-door admission control (the goodput gate is expected to fail)")
 	flag.StringVar(&overloadSnapDir, "overload-snapshots", "", "write each overload rate point's flight-recorder snapshot into this directory")
 	flag.StringVar(&durableSnapDir, "durable-snapshots", "", "write each durable mode×scenario's flight-recorder snapshot into this directory")
+	flag.StringVar(&fastpathSnapDir, "fastpath-snapshots", "", "write each fast-path mode×variant's flight-recorder snapshot into this directory")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -135,7 +137,10 @@ func main() {
 	if *durable {
 		*run = "durable"
 	}
-	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir} {
+	if *fastpath {
+		*run = "fastpath"
+	}
+	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir, fastpathSnapDir} {
 		if dir == "" {
 			continue
 		}
@@ -196,7 +201,7 @@ func main() {
 		}
 	}
 	if ran == 0 && *snap == "" && *benchjson == "" && *whatifOut == "" {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable fastpath\n", *run)
 		os.Exit(1)
 	}
 }
@@ -293,6 +298,7 @@ var experiments = []struct {
 	{"chaos", "chaos availability: kill a worker mid-run, require zero lost invocations", runChaos},
 	{"overload", "overload control: sweep arrival rate past saturation, require graceful degradation", runOverload},
 	{"durable", "durable execution: engine crash replays the journal, node kill reads replicas", runDurable},
+	{"fastpath", "data-plane fast path: direct passing, pre-warm, memoization vs the store-hop baseline", runFastPath},
 }
 
 // durableSnapDir, when set, receives each durable mode×scenario snapshot as
@@ -323,6 +329,36 @@ func runDurable(n int) error {
 		}
 	}
 	return harness.CheckDurable(rows)
+}
+
+// fastpathSnapDir, when set, receives each fast-path mode×variant snapshot
+// as fastpath-<mode>-<variant>.json — byte-identical across same-seed runs,
+// which is what the CI fastpath smoke job diffs.
+var fastpathSnapDir string
+
+func runFastPath(n int) error {
+	inv := n
+	if inv > 20 {
+		inv = 20 // the sweep runs 8 mode×variant scenarios; volume adds nothing
+	}
+	rows, err := harness.FastPath(harness.FastPathSpec{Invocations: inv}, nil)
+	if err != nil {
+		return err
+	}
+	emit("fastpath", harness.RenderFastPath(rows))
+	if fastpathSnapDir != "" {
+		for _, r := range rows {
+			data, err := r.Snapshot.Marshal()
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("fastpath-%s-%s.json", r.Mode, r.Variant)
+			if err := os.WriteFile(filepath.Join(fastpathSnapDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return harness.CheckFastPath(rows)
 }
 
 // noAdmission disables the overload scenario's front-door admission

@@ -72,6 +72,7 @@ func usage() {
                         [-n N] [-storage-bw MBPS] [-snapshot OUT.json] [-json]
   faasflow-trace explain [-bench NAME] [-mode worker|master] [-faastore] [-n N]
                         [-warmup K] [-tol FRAC] [-sweep OUT.json] [-json] [-gate]
+                        [-fastpath]
   faasflow-trace diff   [-noise FRAC] [-floor DUR] [-json] OLD.json NEW.json
   faasflow-trace bench diff [-tol-scale X] [-verbose] [-json] OLD_BENCH.json NEW_BENCH.json`)
 	os.Exit(2)
@@ -341,6 +342,7 @@ func cmdExplain(args []string) error {
 	sweepOut := fs.String("sweep", "", "write the full sweep profile JSON here")
 	jsonOut := fs.Bool("json", false, "emit the explanation as JSON instead of the report")
 	gate := fs.Bool("gate", false, "exit non-zero when any dimension fails the agreement gate")
+	fastpath := fs.Bool("fastpath", false, "enable the data-plane fast path (direct passing + pre-warm) in the profiled scenario")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -360,6 +362,9 @@ func cmdExplain(args []string) error {
 		Opts:   engine.Options{Mode: m, Data: engine.DataStore},
 		Warmup: *warmup,
 		N:      *n,
+	}
+	if *fastpath {
+		sc.Opts.FastPath = engine.FastPathOptions{DirectPassing: true, Prewarm: true}
 	}
 	ex, err := whatif.Explain(sc, nil, *tol)
 	if err != nil {

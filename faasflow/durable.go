@@ -34,6 +34,11 @@ type Durability struct {
 	// Recovery tunes the fault-recovery layer, exactly as in
 	// DeployWithRecovery; the zero value takes its defaults.
 	Recovery Recovery
+	// FastPath enables the data-plane fast path for this deployment, as in
+	// DeployFast. Direct passing is automatically skipped while
+	// ReplicationFactor > 1 (durability requires the replicated store hop);
+	// memo hits still commit journal records so crash replay skips them.
+	FastPath FastPath
 }
 
 // DeployDurable is DeployWithRecovery plus durable execution: every
@@ -73,6 +78,7 @@ func (c *Cluster) DeployDurable(wf *Workflow, mode Mode, dur Durability) (*App, 
 		BackoffBase: rec.BackoffBase,
 		BackoffMax:  rec.BackoffMax,
 		MaxReissues: rec.MaxReissues,
+		FastPath:    dur.FastPath,
 	}
 	dep, err := c.tb.Deploy(wf.bench, opts)
 	if err != nil {

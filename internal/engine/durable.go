@@ -104,7 +104,11 @@ func (d *Deployment) CrashEngine() {
 	d.engineCrashes++
 	d.jr.Crash()
 	for _, id := range d.liveInvIDs() {
-		d.liveInvs[id].abandoned = true
+		inv := d.liveInvs[id]
+		inv.abandoned = true
+		// Orphaned pre-warm slots would hold containers forever (the
+		// executor that was to claim them bails at its next boundary).
+		d.drainPrewarms(inv)
 	}
 	d.reexec = map[reexecKey][]func(){}
 	if d.obs.Active() {

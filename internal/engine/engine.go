@@ -124,6 +124,10 @@ type Options struct {
 	// invocations without re-executing committed steps. Nil (the default)
 	// disables journaling entirely.
 	Journal *journal.WAL
+	// FastPath enables the data-plane fast path: direct producer→consumer
+	// output passing, DAG-lookahead container pre-warm, and content-addressed
+	// output memoization (see fastpath.go). All off by default.
+	FastPath FastPathOptions
 }
 
 func (o Options) withDefaults() Options {
@@ -153,6 +157,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.BackoffBase > 0 && o.BackoffMax == 0 {
 		o.BackoffMax = 30 * time.Second
+	}
+	if o.FastPath.Memoize && o.FastPath.MemoLookup == 0 {
+		o.FastPath.MemoLookup = 200 * time.Microsecond
 	}
 	return o
 }
@@ -283,6 +290,21 @@ type Deployment struct {
 	lostInputs    int64
 	reexecCount   int64
 
+	// Fast-path state (zero unless Options.FastPath enables a feature).
+	// fastSpans switches the executor from one aggregate "store" span to
+	// per-operation spans, so direct pushes attribute as CompDirect.
+	fastSpans bool
+	// memo records (function, input hash) keys whose outputs have been
+	// produced at least once; hits replay the outputs without executing.
+	memo             map[uint64]bool
+	memoHits         int64
+	memoMisses       int64
+	directPushes     int64
+	directFallbacks  int64
+	prewarmIssued    int64
+	prewarmHits      int64
+	prewarmCancelled int64
+
 	master  *proc
 	workers map[string]*proc
 	tracer  *Tracer
@@ -332,6 +354,10 @@ func NewDeployment(rt *Runtime, bench *workloads.Benchmark, place map[dag.NodeID
 		d.liveInvs = map[int64]*invocation{}
 		d.reexec = map[reexecKey][]func(){}
 	}
+	if d.opts.FastPath.Memoize {
+		d.memo = map[uint64]bool{}
+	}
+	d.fastSpans = d.opts.FastPath.DirectPassing || d.opts.FastPath.Memoize
 	for w := range rt.Nodes {
 		d.workers[w] = &proc{env: rt.Env, cost: d.opts.WorkerProc}
 		d.nodeOrder = append(d.nodeOrder, w)
@@ -513,6 +539,16 @@ type invocation struct {
 	// reexecs counts lost-input producer re-executions, bounded by
 	// MaxReissues so repeated data loss cannot loop forever.
 	reexecs int
+	// Fast-path state (nil unless the matching FastPath feature is on).
+	// prewarm holds containers acquired ahead of a step's trigger;
+	// prewarmed marks producers whose successors were already considered.
+	prewarm   map[dag.NodeID]*prewarmSet
+	prewarmed []bool
+	// chash caches per-node content hashes (0 = not yet computed); the
+	// argsH pair caches the invocation-argument fingerprint they mix in.
+	chash      []uint64
+	argsH      uint64
+	argsHashed bool
 }
 
 // skippedOutEdges decides which of a completed node's out-edges deliver a
@@ -650,6 +686,7 @@ func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
 }
 
 func (d *Deployment) finishInvocation(inv *invocation) {
+	d.drainPrewarms(inv)
 	if d.jr != nil {
 		delete(d.liveInvs, inv.id)
 	}
@@ -726,6 +763,25 @@ func (d *Deployment) runTask(inv *invocation, id dag.NodeID, onDone func(failed 
 				return
 			}
 			d.commitStep(inv, id, attemptSeq, onDone)
+		}
+	}
+	if d.opts.FastPath.Memoize {
+		mkey := d.contentHash(inv, id)
+		if d.memo[mkey] {
+			// A hit replays the step's outputs without acquiring a container
+			// or executing; in durable mode `complete` still routes through
+			// commitStep, so crash replay skips the step like any other.
+			d.memoHits++
+			d.runMemoHit(inv, id, complete)
+			return
+		}
+		d.memoMisses++
+		inner := complete
+		complete = func(failed bool) {
+			if !failed && !inv.abandoned && !inv.deadlined {
+				d.memo[mkey] = true
+			}
+			inner(failed)
 		}
 	}
 	for replica := 0; replica < width; replica++ {
@@ -841,7 +897,10 @@ func (d *Deployment) fetchInputs(inv *invocation, id dag.NodeID, workerID string
 
 // storeOutputs uploads the task's output keys sequentially (one container,
 // one upload stream), choosing per edge between local memory and the
-// remote store based on the consumers' placement.
+// remote store based on the consumers' placement. With direct passing
+// enabled, an edge whose consumer placement is known (and healthy, and not
+// owed a replicated durable copy) is pushed straight into the consumer
+// workers' memory tiers instead; the store hop remains the fallback.
 func (d *Deployment) storeOutputs(inv *invocation, id dag.NodeID, replica int, workerID string, next func()) {
 	if d.opts.Data == DataNone {
 		next()
@@ -866,7 +925,23 @@ func (d *Deployment) storeOutputs(inv *invocation, id dag.NodeID, replica int, w
 		}
 		k := d.key(inv, out.edgeIdx, replica)
 		inv.keys = append(inv.keys, k)
-		d.rt.Store.Put(workerID, k, out.bytes, consumers, func(store.Location, error) { step() })
+		opStart := d.rt.Env.Now()
+		if targets := d.directTargets(inv, out); targets != nil {
+			if d.rt.Store.PushDirect(workerID, k, out.bytes, targets, func() {
+				d.span(inv, id, replica, "direct", opStart)
+				step()
+			}) {
+				d.directPushes++
+				return
+			}
+			d.directFallbacks++
+		}
+		d.rt.Store.Put(workerID, k, out.bytes, consumers, func(store.Location, error) {
+			if d.fastSpans {
+				d.span(inv, id, replica, "store", opStart)
+			}
+			step()
+		})
 	}
 	step()
 }

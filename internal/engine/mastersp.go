@@ -117,6 +117,9 @@ func (d *Deployment) mspAssign(inv *invocation, id dag.NodeID, from int, pre []o
 // the current master slot.
 func (d *Deployment) mspComplete(inv *invocation, id dag.NodeID, nodeSkipped bool, pre []obs.Segment) {
 	if nodeSkipped {
+		// The step resolved without running: any containers pre-warmed for
+		// it will never be claimed.
+		d.cancelPrewarms(inv, id)
 		d.pubStep(inv, id, obs.StepSkipped)
 	} else {
 		d.pubStep(inv, id, obs.StepCompleted)

@@ -132,6 +132,12 @@ func phaseComp(phase string) obs.Component {
 		return obs.CompFetch
 	case "exec":
 		return obs.CompExec
+	case "direct":
+		return obs.CompDirect
+	case "prewarm":
+		return obs.CompPrewarmOverlap
+	case "memo":
+		return obs.CompMemoHit
 	default:
 		// "store" and "commit" (the journal fsync window) both count as
 		// making outputs durable.

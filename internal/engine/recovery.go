@@ -105,7 +105,11 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 	}
 
 	acquireStart := d.rt.Env.Now()
-	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, func(c *cluster.Container, cold bool, err error) {
+	// acquirePhase labels the container-wait span: "acquire" for a fresh
+	// acquisition, "prewarm" when a DAG-lookahead slot covers it — only the
+	// residual (non-overlapped) wait then shows on the critical path.
+	acquirePhase := "acquire"
+	acquired := func(c *cluster.Container, cold bool, err error) {
 		if stale() {
 			if c != nil {
 				w.Release(c)
@@ -134,7 +138,8 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 			d.recoverExecutor(inv, id, replica, attempt, reissue, st, attemptStart, "node-down", onDone)
 			return
 		}
-		d.span(inv, id, replica, "acquire", acquireStart)
+		d.span(inv, id, replica, acquirePhase, acquireStart)
+		d.issuePrewarms(inv, id)
 		fetchStart := d.rt.Env.Now()
 		d.fetchInputs(inv, id, workerID, func() {
 			if stale() {
@@ -181,13 +186,41 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 					}
 					cancelTimeout()
 					st.finished = true
-					d.span(inv, id, replica, "store", storeStart)
+					if !d.fastSpans {
+						// With the fast path on, storeOutputs published
+						// per-operation spans instead of this aggregate.
+						d.span(inv, id, replica, "store", storeStart)
+					}
 					w.Release(c)
 					onDone(false)
 				})
 			})
 		})
-	})
+	}
+	if slot := d.takePrewarm(inv, id, workerID); slot != nil {
+		if !slot.delivered && w.WarmContainers(node.Function) > 0 {
+			// The pre-warm is still cold-starting but a warm container sits
+			// idle: reuse the warm one — waiting out the cold start would
+			// regress below feature-off behavior. The cancelled slot's
+			// container joins the pool when its cold start delivers.
+			d.cancelSlot(slot)
+			w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, acquired)
+			return
+		}
+		acquirePhase = "prewarm"
+		d.prewarmHits++
+		if slot.delivered {
+			// Acquired entirely under the predecessor's execution: hand off
+			// on a fresh event; the prewarm span is zero-width.
+			d.rt.Env.Schedule(0, func() { acquired(slot.c, false, slot.err) })
+		} else {
+			// Still in flight: the residual wait from here to delivery is
+			// the non-overlapped tail, published as the prewarm span.
+			slot.claim = func() { acquired(slot.c, false, slot.err) }
+		}
+		return
+	}
+	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, acquired)
 }
 
 // crashRetry re-runs an executor after an injected container crash. The

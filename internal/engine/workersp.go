@@ -77,6 +77,9 @@ func (d *Deployment) wspComplete(inv *invocation, id dag.NodeID, nodeSkipped boo
 			return
 		}
 		if nodeSkipped {
+			// The step resolved without running: any containers pre-warmed
+			// for it will never be claimed.
+			d.cancelPrewarms(inv, id)
 			d.pubStep(inv, id, obs.StepSkipped)
 		} else {
 			d.pubStep(inv, id, obs.StepCompleted)

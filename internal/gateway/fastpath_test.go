@@ -1,0 +1,61 @@
+package gateway
+
+import (
+	"net/http"
+	"testing"
+)
+
+func TestDeployFastPathAndStats(t *testing.T) {
+	srv := newTestServer(t)
+	req := map[string]any{
+		"benchmark": "Vid",
+		"fastPath": map[string]any{
+			"directPassing": true,
+			"prewarm":       true,
+			"memoize":       true,
+		},
+	}
+	var info workflowInfo
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows", req, &info); code != http.StatusCreated {
+		t.Fatalf("deploy status = %d", code)
+	}
+	var stats invokeResponse
+	if code := doJSON(t, http.MethodPost, srv.URL+"/workflows/Vid/invoke",
+		map[string]any{"n": 5}, &stats); code != 200 {
+		t.Fatalf("invoke status = %d", code)
+	}
+	var fp struct {
+		Options struct {
+			DirectPassing bool
+			Memoize       bool
+		} `json:"options"`
+		Stats struct {
+			DirectPushes int64
+			MemoHits     int64
+		} `json:"stats"`
+		Direct struct {
+			Pushes int64
+		} `json:"direct"`
+	}
+	if code := doJSON(t, http.MethodGet, srv.URL+"/workflows/Vid/fastpath", nil, &fp); code != 200 {
+		t.Fatalf("fastpath status = %d", code)
+	}
+	if !fp.Options.DirectPassing || !fp.Options.Memoize {
+		t.Fatalf("options did not round-trip: %+v", fp.Options)
+	}
+	if fp.Stats.DirectPushes == 0 || fp.Direct.Pushes == 0 {
+		t.Fatalf("no direct pushes recorded: %+v", fp)
+	}
+	if fp.Stats.MemoHits == 0 {
+		t.Fatalf("no memo hits across repeated invocations: %+v", fp.Stats)
+	}
+}
+
+func TestFastPathEndpointRequiresFastDeploy(t *testing.T) {
+	srv := newTestServer(t)
+	deployETL(t, srv)
+	code := doJSON(t, http.MethodGet, srv.URL+"/workflows/etl/fastpath", nil, nil)
+	if code != http.StatusNotFound {
+		t.Fatalf("fastpath on plain deploy = %d, want 404", code)
+	}
+}

@@ -8,6 +8,8 @@
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
 //	                           (429 + Retry-After when admission rejects)
 //	GET  /workflows/{name}/journal committed step records (durable deploys)
+//	GET  /workflows/{name}/fastpath fast-path options and counters
+//	                           (fast-path deploys)
 //	GET  /workflows/{name}/trace   Chrome trace of observed invocations
 //	GET  /workflows/{name}/bottlenecks  critical path joined with saturation
 //	GET  /workflows/{name}/explain[?n=N]  causal what-if profile, ranked
@@ -152,6 +154,13 @@ type deployRequest struct {
 	// ReplicationFactor, with Durable, writes FaaStore outputs to this many
 	// worker shards (cluster-wide store property).
 	ReplicationFactor int `json:"replicationFactor,omitempty"`
+	// FastPath enables the data-plane fast path for this deployment; GET
+	// /workflows/{name}/fastpath serves its counters.
+	FastPath struct {
+		DirectPassing bool `json:"directPassing,omitempty"`
+		Prewarm       bool `json:"prewarm,omitempty"`
+		Memoize       bool `json:"memoize,omitempty"`
+	} `json:"fastPath,omitempty"`
 }
 
 // workflowInfo is the GET /workflows/{name} response.
@@ -220,13 +229,22 @@ func (s *Server) deploy(req deployRequest) (*workflowInfo, error) {
 	if _, dup := s.apps[name]; dup {
 		return nil, &httpError{http.StatusConflict, fmt.Sprintf("workflow %q already deployed", name)}
 	}
+	fp := faasflow.FastPath{
+		DirectPassing: req.FastPath.DirectPassing,
+		Prewarm:       req.FastPath.Prewarm,
+		Memoize:       req.FastPath.Memoize,
+	}
 	var app *faasflow.App
 	var err error
-	if req.Durable {
+	switch {
+	case req.Durable:
 		app, err = s.cluster.DeployDurable(wf, s.mode, faasflow.Durability{
 			ReplicationFactor: req.ReplicationFactor,
+			FastPath:          fp,
 		})
-	} else {
+	case fp.Enabled():
+		app, err = s.cluster.DeployFast(wf, s.mode, fp)
+	default:
 		app, err = s.cluster.Deploy(wf, s.mode)
 	}
 	if err != nil {
@@ -336,6 +354,17 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"stats":   app.DurableStats(),
 			"entries": entries,
+		})
+	case action == "fastpath" && r.Method == http.MethodGet:
+		if !app.FastPath().Enabled() {
+			fail(w, &httpError{http.StatusNotFound,
+				fmt.Sprintf("workflow %q was not deployed with the fast path", name)})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"options": app.FastPath(),
+			"stats":   app.FastPathStats(),
+			"direct":  s.cluster.DirectPassingStats(),
 		})
 	case action == "trace" && r.Method == http.MethodGet:
 		data, err := s.obs.WorkflowTrace(name)

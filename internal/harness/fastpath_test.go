@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestFastPathScenarioGates(t *testing.T) {
+	rows, err := FastPath(FastPathSpec{Invocations: 6}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 2 modes × 4 variants
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	if err := CheckFastPath(rows); err != nil {
+		t.Fatal(err)
+	}
+	if tab := RenderFastPath(rows); tab.String() == "" {
+		t.Fatal("empty fast-path table rendering")
+	}
+}
+
+func TestFastPathScenarioDeterministic(t *testing.T) {
+	spec := FastPathSpec{Invocations: 4}
+	r1, err := FastPath(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FastPath(spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		b1, err := r1[i].Snapshot.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b2, err := r2[i].Snapshot.Marshal()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("%s/%s: same-spec snapshots differ", r1[i].Mode, r1[i].Variant)
+		}
+	}
+}

@@ -48,6 +48,19 @@ const (
 	// engine crash and the restarted engine re-dispatching the uncommitted
 	// frontier after replaying the journal.
 	CompReplay
+	// CompDirect is a direct producer→consumer output push: the fabric
+	// transfer that replaces the Put-to-remote + Get store hop when the
+	// consumer's placement is already known at producer completion.
+	CompDirect
+	// CompPrewarmOverlap is the residual (non-overlapped) tail of a
+	// DAG-lookahead container pre-warm: the acquisition was issued while the
+	// step's last predecessor was still executing, and only the part that
+	// outlived the predecessor shows up on the critical path.
+	CompPrewarmOverlap
+	// CompMemoHit is a content-addressed memoization hit: the cache lookup
+	// that replaces a step's execution when (function, input hash) was seen
+	// before.
+	CompMemoHit
 
 	numComponents
 )
@@ -72,6 +85,12 @@ func (c Component) String() string {
 		return "recovery"
 	case CompReplay:
 		return "replay"
+	case CompDirect:
+		return "direct"
+	case CompPrewarmOverlap:
+		return "prewarm"
+	case CompMemoHit:
+		return "memo"
 	default:
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
@@ -407,7 +426,7 @@ func (t StoreTier) String() string {
 
 // StoreEvent is one completed storage operation.
 type StoreEvent struct {
-	Op     string // "get" | "put"
+	Op     string // "get" | "put" | "push" (direct producer→consumer)
 	Key    string
 	Worker string // the worker issuing the op
 	Tier   StoreTier

@@ -529,17 +529,18 @@ func (u *Utilization) componentResource(comp Component, windows []PathSegment) (
 	switch comp {
 	case CompExec:
 		return u.hottest([]string{KindCPU}, nodes, windows)
-	case CompFetch, CompStore, CompTransfer:
+	case CompFetch, CompStore, CompTransfer, CompDirect:
 		// Data movement saturates links; the phase's worker is one endpoint
 		// but the bottleneck is usually the other (storage), so search all.
 		return u.hottest([]string{KindLink}, nil, windows)
-	case CompAcquire:
+	case CompAcquire, CompPrewarmOverlap:
 		if name, occ := u.hottest([]string{KindQueue}, nodes, windows); occ > 0 {
 			return name, occ
 		}
 		return u.hottest([]string{KindContainers}, nodes, windows)
 	default:
-		// CompQueue / CompSchedule: engine-loop time, no substrate resource.
+		// CompQueue / CompSchedule / CompMemoHit: engine-loop or cache time,
+		// no substrate resource.
 		return "", 0
 	}
 }

@@ -361,6 +361,11 @@ type Hybrid struct {
 	repairQueue map[string]bool        // under-replicated keys awaiting repair
 	repairEv    *sim.Event
 	replStats   ReplStats
+
+	// Direct passing (see direct.go): keys pushed producer→consumer without
+	// a remote hop, and the workers holding each copy in push order.
+	direct      map[string][]string
+	directStats DirectStats
 }
 
 // ReplStats aggregates replication counters.
@@ -486,6 +491,7 @@ func NewHybrid(remote *RemoteKV, mem map[string]*MemKV, remoteOnly bool) *Hybrid
 		remoteOnly:  remoteOnly,
 		replicas:    map[string][]string{},
 		repairQueue: map[string]bool{},
+		direct:      map[string][]string{},
 	}
 }
 
@@ -616,7 +622,42 @@ func (h *Hybrid) Get(at, key string, done func(size int64, ok bool, err error)) 
 		done = func(int64, bool, error) {}
 	}
 	start := h.remote.env.Now()
-	if h.placements[key] == LocMemory && h.replFactor > 1 {
+	if hold := h.direct[key]; h.placements[key] == LocMemory && len(hold) > 0 {
+		// Direct-pushed key: the copy usually sits in the reader's own
+		// memory tier (that is the point of the push); a reader on another
+		// node (re-placed after a fault) fetches from a surviving holder.
+		if m := h.mem[at]; m != nil && m.Has(key) && h.nodeAlive(at) {
+			h.localHits++
+			m.Get(key, func(size int64, ok bool) {
+				h.pubOp("get", key, at, obs.TierMemory, size, ok, start)
+				done(size, ok, nil)
+			})
+			return
+		}
+		src := ""
+		for _, r := range hold {
+			if m := h.mem[r]; m != nil && m.Has(key) && h.nodeAlive(r) {
+				src = r
+				break
+			}
+		}
+		if src != "" {
+			h.directStats.FallbackReads++
+			h.mem[src].Get(key, func(size int64, ok bool) {
+				if !ok {
+					done(0, false, nil)
+					return
+				}
+				h.remote.fab.Send(src, at, size, func() {
+					h.pubOp("get", key, at, obs.TierMemory, size, true, start)
+					done(size, true, nil)
+				})
+			})
+			return
+		}
+		// Every holder died: fall through to the remote store, which will
+		// report an honest miss (direct copies were never durable).
+	} else if h.placements[key] == LocMemory && h.replFactor > 1 {
 		if src := h.pickReplica(at, key); src != "" {
 			m := h.mem[src]
 			if src == at {
@@ -702,7 +743,13 @@ func (h *Hybrid) Where(key string) Location { return h.placements[key] }
 func (h *Hybrid) Delete(key string) {
 	switch h.placements[key] {
 	case LocMemory:
-		if reps := h.replicas[key]; len(reps) > 0 {
+		if hold := h.direct[key]; len(hold) > 0 {
+			for _, r := range hold {
+				if m := h.mem[r]; m != nil {
+					m.Delete(key)
+				}
+			}
+		} else if reps := h.replicas[key]; len(reps) > 0 {
 			for _, r := range reps {
 				if m := h.mem[r]; m != nil {
 					m.Delete(key)
@@ -718,6 +765,7 @@ func (h *Hybrid) Delete(key string) {
 	delete(h.homes, key)
 	delete(h.replicas, key)
 	delete(h.repairQueue, key)
+	delete(h.direct, key)
 }
 
 // DropWorker models a worker's in-memory store dying with its node: every
@@ -731,6 +779,7 @@ func (h *Hybrid) DropWorker(node string) {
 	if m == nil {
 		return
 	}
+	h.dropDirectWorker(node)
 	if h.replFactor > 1 {
 		var hit []string
 		for key, reps := range h.replicas {
