@@ -77,6 +77,7 @@ func main() {
 		overload = flag.Bool("overload", false, "run only the overload-control scenario (shorthand for -run overload)")
 		durable  = flag.Bool("durable", false, "run only the durable-execution scenario (shorthand for -run durable)")
 		fastpath = flag.Bool("fastpath", false, "run only the data-plane fast-path scenario (shorthand for -run fastpath)")
+		fed      = flag.Bool("federation", false, "run only the engine-federation failover scenario (shorthand for -run federation)")
 
 		benchjson  = flag.String("benchjson", "", "run the perf suite and write a BENCH snapshot to this file (skips experiments unless -run is passed explicitly)")
 		whatifOut  = flag.String("whatif", "", "run the causal what-if sweep on Genome and write the profile JSON to this file (skips experiments unless -run is passed explicitly)")
@@ -94,6 +95,7 @@ func main() {
 	flag.StringVar(&overloadSnapDir, "overload-snapshots", "", "write each overload rate point's flight-recorder snapshot into this directory")
 	flag.StringVar(&durableSnapDir, "durable-snapshots", "", "write each durable mode×scenario's flight-recorder snapshot into this directory")
 	flag.StringVar(&fastpathSnapDir, "fastpath-snapshots", "", "write each fast-path mode×variant's flight-recorder snapshot into this directory")
+	flag.StringVar(&fedSnapDir, "federation-snapshots", "", "write each federation mode×scenario's flight-recorder snapshot into this directory")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -140,7 +142,10 @@ func main() {
 	if *fastpath {
 		*run = "fastpath"
 	}
-	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir, fastpathSnapDir} {
+	if *fed {
+		*run = "federation"
+	}
+	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir, fastpathSnapDir, fedSnapDir} {
 		if dir == "" {
 			continue
 		}
@@ -201,7 +206,7 @@ func main() {
 		}
 	}
 	if ran == 0 && *snap == "" && *benchjson == "" && *whatifOut == "" {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable fastpath\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable fastpath federation\n", *run)
 		os.Exit(1)
 	}
 }
@@ -299,6 +304,7 @@ var experiments = []struct {
 	{"overload", "overload control: sweep arrival rate past saturation, require graceful degradation", runOverload},
 	{"durable", "durable execution: engine crash replays the journal, node kill reads replicas", runDurable},
 	{"fastpath", "data-plane fast path: direct passing, pre-warm, memoization vs the store-hop baseline", runFastPath},
+	{"federation", "engine federation: rolling member kills fail over by lease expiry and journal handoff", runFederation},
 }
 
 // durableSnapDir, when set, receives each durable mode×scenario snapshot as
@@ -359,6 +365,37 @@ func runFastPath(n int) error {
 		}
 	}
 	return harness.CheckFastPath(rows)
+}
+
+// fedSnapDir, when set, receives each federation mode×scenario snapshot as
+// federation-<mode>-<scenario>.json — byte-identical across same-seed runs
+// (claim-race winners included), which is what the CI federation smoke job
+// diffs.
+var fedSnapDir string
+
+func runFederation(n int) error {
+	inv := n
+	if inv > 24 {
+		inv = 24 // the scenario needs kills landing mid-flight, not volume
+	}
+	rows, err := harness.Federation(harness.FederationSpec{Invocations: inv}, nil)
+	if err != nil {
+		return err
+	}
+	emit("federation", harness.RenderFederation(rows))
+	if fedSnapDir != "" {
+		for _, r := range rows {
+			data, err := r.Snapshot.Marshal()
+			if err != nil {
+				return err
+			}
+			name := fmt.Sprintf("federation-%s-%s.json", r.Mode, r.Scenario)
+			if err := os.WriteFile(filepath.Join(fedSnapDir, name), data, 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	return harness.CheckFederation(rows)
 }
 
 // noAdmission disables the overload scenario's front-door admission

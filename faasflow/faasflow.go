@@ -31,6 +31,7 @@ import (
 	"repro/internal/admission"
 	"repro/internal/dag"
 	"repro/internal/engine"
+	"repro/internal/federation"
 	"repro/internal/harness"
 	"repro/internal/metrics"
 	"repro/internal/network"
@@ -227,6 +228,9 @@ type App struct {
 	// opts records the deployment options so what-if analysis can replay
 	// this exact configuration on a fresh testbed.
 	opts engine.Options
+	// fed is non-nil for DeployFederated apps: dep is then member 0 of the
+	// federation and invocations must route through fed (see federation.go).
+	fed *federation.Federation
 }
 
 // StartTrace begins recording per-executor phase spans (container acquire,

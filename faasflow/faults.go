@@ -153,7 +153,25 @@ func (c *Cluster) DeployWithRecovery(wf *Workflow, mode Mode, rec Recovery) (*Ap
 type FailureStats = engine.FailureStats
 
 // FailureStats reports the app's crash, timeout, re-issue, and re-placement
-// counters so far.
+// counters so far. Federated apps aggregate across every member engine
+// (with Exhausted the sorted cross-member union).
 func (a *App) FailureStats() FailureStats {
-	return a.dep.Engine.FailureStatsSnapshot()
+	if a.fed == nil {
+		return a.dep.Engine.FailureStatsSnapshot()
+	}
+	var out FailureStats
+	for _, id := range a.fed.MemberIDs() {
+		st := a.fed.Engine(id).FailureStatsSnapshot()
+		out.Crashes += st.Crashes
+		out.Retries += st.Retries
+		out.Timeouts += st.Timeouts
+		out.Reissues += st.Reissues
+		out.Replacements += st.Replacements
+		out.FailedInvocations += st.FailedInvocations
+		out.DeadlineExceeded += st.DeadlineExceeded
+		out.Shed += st.Shed
+		out.ReissuesExhausted += st.ReissuesExhausted
+	}
+	out.Exhausted = a.fed.ExhaustionFailures()
+	return out
 }

@@ -29,6 +29,12 @@ var (
 	// ErrDeadline is a queued acquisition withdrawn because its deadline
 	// passed before a container freed up.
 	ErrDeadline = errors.New("cluster: acquire deadline exceeded")
+	// ErrFenced is an acquisition rejected by its epoch fence: the engine
+	// that issued it lost ownership of the invocation's shard (federation
+	// failover), so granting it a container would let a stale owner keep
+	// executing. Checked on entry and again at grant time, so a request
+	// queued before the ownership change is rejected too.
+	ErrFenced = errors.New("cluster: acquire fenced by stale epoch")
 	// ErrNodeDown is an acquisition aborted by a node failure (or issued
 	// against a node already down).
 	ErrNodeDown = errors.New("cluster: node down")
@@ -198,9 +204,10 @@ type NodeStats struct {
 	WarmReuses     int64
 	Evictions      int64
 	QueuedWaits    int64
-	Shed           int64 // acquisitions fast-failed by MaxQueueDepth
-	DeadlineAborts int64 // queued acquisitions withdrawn at their deadline
-	Failures       int64 // Fail() calls (node crashes)
+	Shed           int64         // acquisitions fast-failed by MaxQueueDepth
+	DeadlineAborts int64         // queued acquisitions withdrawn at their deadline
+	FencedAcquires int64         // acquisitions rejected by an epoch fence
+	Failures       int64         // Fail() calls (node crashes)
 	CPUBusy        time.Duration // integrated core-busy time
 	PeakMem        int64
 	PeakConcurrent int
@@ -212,6 +219,7 @@ type NodeStats struct {
 type waiter struct {
 	ready  func(c *Container, cold bool, err error)
 	expire *sim.Event
+	fence  func() error
 }
 
 // serve cancels the pending expiry (the waiter is being handed a
@@ -374,6 +382,13 @@ type AcquireOptions struct {
 	// immediately). 0 = no deadline.
 	Deadline sim.Time
 
+	// Fence, when set, is the request's ownership check: a non-nil return
+	// means the issuing engine's epoch is stale and the request must fail
+	// with ErrFenced. It is evaluated on entry and again whenever the
+	// request is about to be granted a container, so an ownership change
+	// while queued still fences the grant.
+	Fence func() error
+
 	// unbounded marks legacy Acquire calls, which predate MaxQueueDepth
 	// and keep the historical never-shed semantics.
 	unbounded bool
@@ -401,12 +416,17 @@ func (n *Node) acquire(fn string, opts AcquireOptions, ready func(c *Container, 
 		n.env.Schedule(0, func() { ready(nil, false, ErrDeadline) })
 		return
 	}
+	if opts.Fence != nil && opts.Fence() != nil {
+		n.stats.FencedAcquires++
+		n.env.Schedule(0, func() { ready(nil, false, ErrFenced) })
+		return
+	}
 	p := n.pools[fn]
 	if p == nil {
 		p = &fnPool{}
 		n.pools[fn] = p
 	}
-	w := &waiter{ready: ready}
+	w := &waiter{ready: ready, fence: opts.Fence}
 	p.waiting = append(p.waiting, w)
 	n.pump(fn, p)
 	// pump serves FIFO from the front, so if anything is still queued our
@@ -452,8 +472,25 @@ func (n *Node) expireWaiter(fn string, w *waiter) {
 // reuse, then cold start under the scale limit and free node memory. It is
 // the single wakeup path shared by Acquire, Destroy, evict, Reclaim, and
 // Recover, so any freed slot or memory re-examines the queue.
-func (n *Node) pump(fn string, p *fnPool) {
+// dropFenced fails front-of-queue waiters whose epoch fence now rejects
+// them — an ownership change while queued must not be rewarded with a
+// container. Called before any grant, so a fenced waiter never reaches
+// ready with a container.
+func (n *Node) dropFenced(p *fnPool) {
 	for len(p.waiting) > 0 {
+		w := p.waiting[0]
+		if w.fence == nil || w.fence() == nil {
+			return
+		}
+		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+		w.serve()
+		n.stats.FencedAcquires++
+		n.env.Schedule(0, func() { w.ready(nil, false, ErrFenced) })
+	}
+}
+
+func (n *Node) pump(fn string, p *fnPool) {
+	for n.dropFenced(p); len(p.waiting) > 0; n.dropFenced(p) {
 		// Warm container available: reuse it (LIFO, so the oldest idle
 		// containers keep aging toward eviction).
 		if len(p.warm) > 0 {
@@ -557,6 +594,7 @@ func (n *Node) Release(c *Container) {
 		return // lost to a node failure; slot and memory already reclaimed
 	}
 	p := n.pools[c.Fn]
+	n.dropFenced(p)
 	if len(p.waiting) > 0 {
 		next := p.waiting[0]
 		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]

@@ -1,0 +1,85 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+var errStale = errors.New("stale epoch")
+
+// A request whose fence is already stale is rejected immediately with
+// ErrFenced and never queues.
+func TestFenceRejectsOnEntry(t *testing.T) {
+	env := sim.NewEnv()
+	n := NewNode(env, "w1", smallConfig())
+	var gotErr error
+	n.AcquireOpts("f", AcquireOptions{Fence: func() error { return errStale }},
+		func(c *Container, cold bool, err error) { gotErr = err })
+	env.Run()
+	if !errors.Is(gotErr, ErrFenced) {
+		t.Fatalf("err = %v; want ErrFenced", gotErr)
+	}
+	if got := n.Stats().FencedAcquires; got != 1 {
+		t.Fatalf("FencedAcquires = %d; want 1", got)
+	}
+	if n.Stats().ColdStarts != 0 {
+		t.Fatal("fenced request was granted a container")
+	}
+}
+
+// A request queued while valid, whose fence goes stale before a container
+// frees up, is rejected at grant time — the container goes to the next
+// (still-valid) waiter instead.
+func TestFenceRejectsQueuedWaiterAtGrant(t *testing.T) {
+	env := sim.NewEnv()
+	cfg := smallConfig()
+	cfg.PerFnLimit = 1
+	n := NewNode(env, "w1", cfg)
+
+	var holder *Container
+	n.AcquireOpts("f", AcquireOptions{}, func(c *Container, cold bool, err error) {
+		if err != nil {
+			t.Errorf("first acquire failed: %v", err)
+			return
+		}
+		holder = c
+	})
+
+	stale := false
+	var fencedErr error
+	served := false
+	env.Schedule(10*time.Millisecond, func() {
+		// Queued behind the holder; fence is valid now, stale later.
+		n.AcquireOpts("f", AcquireOptions{Fence: func() error {
+			if stale {
+				return errStale
+			}
+			return nil
+		}}, func(c *Container, cold bool, err error) { fencedErr = err })
+		// Third waiter with no fence: must inherit the released container.
+		n.AcquireOpts("f", AcquireOptions{}, func(c *Container, cold bool, err error) {
+			if err != nil {
+				t.Errorf("unfenced waiter failed: %v", err)
+				return
+			}
+			served = true
+		})
+	})
+	env.Schedule(150*time.Millisecond, func() { stale = true })
+	// Well past the 100ms cold start, so the holder has its container.
+	env.Schedule(200*time.Millisecond, func() { n.Release(holder) })
+	env.Run()
+
+	if !errors.Is(fencedErr, ErrFenced) {
+		t.Fatalf("queued fenced waiter err = %v; want ErrFenced", fencedErr)
+	}
+	if !served {
+		t.Fatal("container was not handed to the next valid waiter")
+	}
+	if got := n.Stats().FencedAcquires; got != 1 {
+		t.Fatalf("FencedAcquires = %d; want 1", got)
+	}
+}

@@ -151,6 +151,15 @@ func (d *Deployment) RestartEngine() {
 // counters) so stale callbacks from before the crash can never touch the
 // resumed run.
 func (d *Deployment) replayInvocation(old *invocation) {
+	d.resumeInvocation(old, d.jr.CommittedSteps(old.id), obs.CompReplay)
+}
+
+// resumeInvocation is the shared replay core: rebuild trigger state from a
+// committed-step map and re-dispatch the uncommitted cut. comp labels the
+// dead-time attribution — CompReplay for a same-engine restart, CompHandoff
+// when a successor engine resumes a claimed invocation (the committed map
+// then unions every federation member's journal).
+func (d *Deployment) resumeInvocation(old *invocation, committed map[int]journal.Entry, comp obs.Component) {
 	fresh := &invocation{
 		id:        old.id,
 		version:   old.version,
@@ -168,7 +177,6 @@ func (d *Deployment) replayInvocation(old *invocation) {
 		reexecs:   old.reexecs,
 	}
 	d.liveInvs[old.id] = fresh
-	committed := d.jr.CommittedSteps(old.id)
 	topo, err := d.g.TopoSort()
 	if err != nil {
 		return // unreachable: the graph was validated acyclic at deploy
@@ -224,16 +232,17 @@ func (d *Deployment) replayInvocation(old *invocation) {
 		if fresh.started[id] || fresh.predsDone[id] != d.g.InDegree(id) {
 			continue
 		}
-		d.redispatchStep(fresh, id, committed)
+		d.redispatchStep(fresh, id, committed, comp)
 	}
 }
 
 // redispatchStep re-issues one frontier step through the mode-appropriate
-// engine loop. The trigger chain opens with a CompReplay segment spanning
-// from the binding committed predecessor's durable instant (or the
-// invocation start) to the dispatch slot — the crash's dead time, which
-// the critical-path walk then attributes contiguously.
-func (d *Deployment) redispatchStep(inv *invocation, id dag.NodeID, committed map[int]journal.Entry) {
+// engine loop. The trigger chain opens with a comp (CompReplay or
+// CompHandoff) segment spanning from the binding committed predecessor's
+// durable instant (or the invocation start) to the dispatch slot — the
+// crash's or failover's dead time, which the critical-path walk then
+// attributes contiguously.
+func (d *Deployment) redispatchStep(inv *invocation, id dag.NodeID, committed map[int]journal.Entry, comp obs.Component) {
 	from := -1
 	replayFrom := inv.start
 	for _, pred := range d.g.Preds(id) {
@@ -251,7 +260,7 @@ func (d *Deployment) redispatchStep(inv *invocation, id dag.NodeID, committed ma
 				return
 			}
 			d.pubStep(inv, id, obs.StepReplayed)
-			d.mspAssign(inv, id, from, d.chainProc(d.replaySeg(replayFrom, enq), enq, st, done))
+			d.mspAssign(inv, id, from, d.chainProc(d.replaySeg(comp, replayFrom, enq), enq, st, done))
 		})
 	default: // ModeWorkerSP: the master re-delivers the assignment to the
 		// worker whose engine owns the step, like the initial invocation.
@@ -261,7 +270,7 @@ func (d *Deployment) redispatchStep(inv *invocation, id dag.NodeID, committed ma
 				return
 			}
 			d.pubStep(inv, id, obs.StepReplayed)
-			pre := d.chainProc(d.replaySeg(replayFrom, enq), enq, st, done)
+			pre := d.chainProc(d.replaySeg(comp, replayFrom, enq), enq, st, done)
 			sendAt := d.rt.Env.Now()
 			d.rt.Fabric.SendMsg(d.rt.Master, inv.place[id], d.opts.AssignMsgBytes, func() {
 				d.wspTrigger(inv, id, from, d.chainTransfer(pre, sendAt, d.rt.Env.Now()))
@@ -270,12 +279,12 @@ func (d *Deployment) redispatchStep(inv *invocation, id dag.NodeID, committed ma
 	}
 }
 
-// replaySeg builds the CompReplay chain prefix covering [from, to).
-func (d *Deployment) replaySeg(from, to sim.Time) []obs.Segment {
+// replaySeg builds the replay/handoff chain prefix covering [from, to).
+func (d *Deployment) replaySeg(comp obs.Component, from, to sim.Time) []obs.Segment {
 	if !d.obs.Active() || to <= from {
 		return nil
 	}
-	return []obs.Segment{{Comp: obs.CompReplay, Start: from, End: to}}
+	return []obs.Segment{{Comp: comp, Start: from, End: to}}
 }
 
 // Journal exposes the deployment's write-ahead log (nil when not durable).
@@ -295,6 +304,16 @@ type DurableStats struct {
 	// Reexecs counts committed producers re-executed to regenerate lost
 	// outputs (zero when replication keeps a surviving copy).
 	Reexecs int64
+	// Adopted counts invocations this engine resumed after claiming them
+	// from a federation peer whose lease expired.
+	Adopted int64
+	// FencedSteps counts engine-side epoch-fence rejections: dispatches and
+	// executor phase boundaries where this engine learned it lost the
+	// invocation's shard.
+	FencedSteps int64
+	// FencedAcquires counts container acquisitions the cluster rejected
+	// with ErrFenced.
+	FencedAcquires int64
 	// Journal carries the write-ahead log's own counters.
 	Journal journal.Stats
 }
@@ -303,11 +322,14 @@ type DurableStats struct {
 // values when the deployment has no journal).
 func (d *Deployment) DurableStatsSnapshot() DurableStats {
 	st := DurableStats{
-		EngineCrashes: d.engineCrashes,
-		ReplaySkips:   d.replaySkips,
-		Redispatched:  d.redispatched,
-		LostInputs:    d.lostInputs,
-		Reexecs:       d.reexecCount,
+		EngineCrashes:  d.engineCrashes,
+		ReplaySkips:    d.replaySkips,
+		Redispatched:   d.redispatched,
+		LostInputs:     d.lostInputs,
+		Reexecs:        d.reexecCount,
+		Adopted:        d.adopted,
+		FencedSteps:    d.fencedSteps,
+		FencedAcquires: d.fencedAcquires,
 	}
 	if d.jr != nil {
 		st.Journal = d.jr.Stats()

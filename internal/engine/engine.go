@@ -270,9 +270,23 @@ type Deployment struct {
 	deadlineCount int64
 	shedCount     int64
 	nodeOrder     []string // sorted runtime node IDs, for deterministic re-placement
+	// exhausted records every executor that burned its whole fault
+	// re-issue budget, for FailureStats and the gateway failures surface.
+	exhausted []ErrReissuesExhausted
 	// avoid, when set, excludes workers from fault re-placement (e.g.
 	// nodes inside a scheduled NodeDown window that have not failed yet).
 	avoid func(worker string) bool
+
+	// Federation state (zero unless SetFence installs an ownership check).
+	// engineID names this engine in the federation's membership table;
+	// fence is consulted at dispatch, executor phase boundaries, and (via
+	// cluster.AcquireOptions.Fence) container grants — a rejection means
+	// this engine lost the invocation's shard and must stand down.
+	engineID       string
+	fence          func(inv int64) error
+	fencedSteps    int64 // engine-side fence rejections (dispatch/phase boundaries)
+	fencedAcquires int64 // container acquires rejected with cluster.ErrFenced
+	adopted        int64 // invocations adopted from a claimed shard
 
 	// Durable-execution state (nil/zero unless Options.Journal is set).
 	jr        *journal.WAL
@@ -638,6 +652,14 @@ type InvokeOptions struct {
 
 // InvokeOpts starts an invocation with per-invocation options.
 func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
+	d.InvokeWithID(d.nextInv, opts, done)
+}
+
+// InvokeWithID starts an invocation under an externally assigned ID — the
+// federation routes invocations to owner engines by consistent hashing on
+// a globally unique ID, so the ID is allocated above the engine. nextInv
+// advances past id, keeping locally assigned IDs collision-free.
+func (d *Deployment) InvokeWithID(id int64, opts InvokeOptions, done func(Result)) {
 	if done == nil {
 		done = func(Result) {}
 	}
@@ -646,7 +668,7 @@ func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
 		env = expr.Env(opts.Args)
 	}
 	inv := &invocation{
-		id:        d.nextInv,
+		id:        id,
 		version:   d.version,
 		place:     d.place,
 		start:     d.rt.Env.Now(),
@@ -658,7 +680,9 @@ func (d *Deployment) InvokeOpts(opts InvokeOptions, done func(Result)) {
 		sinksLeft: len(d.sinks),
 		done:      done,
 	}
-	d.nextInv++
+	if id >= d.nextInv {
+		d.nextInv = id + 1
+	}
 	d.liveByVersion[inv.version]++
 	d.liveNow++
 	if d.liveNow > d.peakLive {
@@ -817,6 +841,22 @@ func (d *Deployment) Crashes() int64 { return d.crashCount }
 // Retries reports executor retry attempts so far.
 func (d *Deployment) Retries() int64 { return d.retryCount }
 
+// ErrReissuesExhausted reports an executor that burned its entire fault
+// re-issue budget: the step failed permanently and the invocation drained
+// with Failed set. It is an error so callers (gateway, tests) can match it
+// with errors.As; FailureStats.Exhausted carries one per exhausted step.
+type ErrReissuesExhausted struct {
+	Workflow string `json:"workflow"`
+	Inv      int64  `json:"inv"`
+	Step     string `json:"step"`
+	Attempts int    `json:"attempts"` // re-issues spent before giving up (== MaxReissues)
+}
+
+func (e *ErrReissuesExhausted) Error() string {
+	return fmt.Sprintf("engine: step %q of %s invocation %d exhausted its re-issue budget after %d attempts",
+		e.Step, e.Workflow, e.Inv, e.Attempts)
+}
+
 // FailureStats aggregates the deployment's failure and recovery counters.
 type FailureStats struct {
 	Crashes           int64 // injected container crashes
@@ -827,10 +867,17 @@ type FailureStats struct {
 	FailedInvocations int64 // invocations that completed with Failed set
 	DeadlineExceeded  int64 // work abandoned at the invocation deadline
 	Shed              int64 // executor acquisitions rejected by bounded queues
+	// ReissuesExhausted counts executors that burned the whole re-issue
+	// budget; Exhausted carries the typed record for each (step name,
+	// attempt count), in failure order.
+	ReissuesExhausted int64
+	Exhausted         []ErrReissuesExhausted
 }
 
 // FailureStatsSnapshot reports current failure/recovery counters.
 func (d *Deployment) FailureStatsSnapshot() FailureStats {
+	exhausted := make([]ErrReissuesExhausted, len(d.exhausted))
+	copy(exhausted, d.exhausted)
 	return FailureStats{
 		Crashes:           d.crashCount,
 		Retries:           d.retryCount,
@@ -840,6 +887,8 @@ func (d *Deployment) FailureStatsSnapshot() FailureStats {
 		FailedInvocations: d.failedInv,
 		DeadlineExceeded:  d.deadlineCount,
 		Shed:              d.shedCount,
+		ReissuesExhausted: int64(len(d.exhausted)),
+		Exhausted:         exhausted,
 	}
 }
 

@@ -1,0 +1,75 @@
+package engine
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/network"
+)
+
+// Satellite regression: when an executor burns its whole re-issue budget
+// (here: the only worker is dead forever, so every re-issue lands back on
+// it), the failure must surface as a typed ErrReissuesExhausted — step
+// name and attempt count — through FailureStats, instead of draining
+// silently with only a generic Failed flag.
+func TestReissueExhaustionSurfacesTypedError(t *testing.T) {
+	for _, mode := range []Mode{ModeWorkerSP, ModeMasterSP} {
+		rt := rig(1, network.MBps(50))
+		b := miniBench()
+		d, err := NewDeployment(rt, b, placeAll(b, "w0"),
+			Options{Mode: mode, Data: DataStore, MaxReissues: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt.Nodes["w0"].Fail() // permanent: no survivor to re-place onto
+		var res Result
+		got := false
+		d.Invoke(func(r Result) { res = r; got = true })
+		rt.Env.Run()
+		if !got {
+			t.Fatalf("%v: exhausted invocation hung instead of draining", mode)
+		}
+		if !res.Failed {
+			t.Fatalf("%v: Result.Failed = false after exhaustion", mode)
+		}
+		fs := d.FailureStatsSnapshot()
+		if fs.ReissuesExhausted == 0 {
+			t.Fatalf("%v: ReissuesExhausted = 0; want > 0 (stats: %+v)", mode, fs)
+		}
+		if int64(len(fs.Exhausted)) != fs.ReissuesExhausted {
+			t.Fatalf("%v: %d typed records for %d exhaustions", mode, len(fs.Exhausted), fs.ReissuesExhausted)
+		}
+		e := fs.Exhausted[0]
+		if e.Workflow != "mini" || e.Step == "" || e.Attempts != 3 || e.Inv != 0 {
+			t.Fatalf("%v: exhaustion record = %+v; want workflow mini, named step, 3 attempts, inv 0", mode, e)
+		}
+		// It is an error: errors.As must match through a wrapped chain.
+		var target *ErrReissuesExhausted
+		wrapped := error(&e)
+		if !errors.As(wrapped, &target) || target.Step != e.Step {
+			t.Fatalf("%v: errors.As failed to match ErrReissuesExhausted", mode)
+		}
+		if e.Error() == "" {
+			t.Fatalf("%v: empty error string", mode)
+		}
+	}
+}
+
+// Without exhaustion, the typed surface stays empty.
+func TestNoExhaustionRecordsOnCleanRun(t *testing.T) {
+	rt := rig(2, network.MBps(50))
+	b := miniBench()
+	d, err := NewDeployment(rt, b, placeRoundRobin(b, "w0", "w1"),
+		Options{Mode: ModeWorkerSP, Data: DataStore, MaxReissues: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, rt, d)
+	if res.Failed {
+		t.Fatal("clean run failed")
+	}
+	fs := d.FailureStatsSnapshot()
+	if fs.ReissuesExhausted != 0 || len(fs.Exhausted) != 0 {
+		t.Fatalf("spurious exhaustion records: %+v", fs)
+	}
+}

@@ -37,6 +37,9 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 	if inv.abandoned {
 		return // orphaned by an engine crash; replay owns the step now
 	}
+	if d.fenceCheck(inv, id, "dispatch") {
+		return // shard moved to a successor; it owns the step now
+	}
 	node := d.g.Node(id)
 	workerID := inv.place[id]
 	w := d.rt.Nodes[workerID]
@@ -132,6 +135,14 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 			d.pubStep(inv, id, obs.StepFailed)
 			onDone(true)
 			return
+		case errors.Is(err, cluster.ErrFenced):
+			// Ownership moved while this request sat in the acquire queue;
+			// the node refused the grant, so stand down locally too.
+			cancelTimeout()
+			st.finished = true
+			d.fencedAcquires++
+			d.fenceCheck(inv, id, "acquire")
+			return
 		case err != nil:
 			// The node failed while this request sat in the acquire queue.
 			cancelTimeout()
@@ -150,6 +161,12 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 				abortDeadline(c, "fetch")
 				return
 			}
+			if d.fenceCheck(inv, id, "exec") {
+				cancelTimeout()
+				st.finished = true
+				w.Release(c)
+				return
+			}
 			d.span(inv, id, replica, "fetch", fetchStart)
 			execStart := d.rt.Env.Now()
 			w.Exec(exec, func() {
@@ -162,6 +179,12 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 					return
 				}
 				d.span(inv, id, replica, "exec", execStart)
+				if d.fenceCheck(inv, id, "store") {
+					cancelTimeout()
+					st.finished = true
+					w.Release(c)
+					return
+				}
 				if d.crashes(inv, id, replica, attempt) {
 					cancelTimeout()
 					w.Destroy(c)
@@ -204,7 +227,7 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 			// regress below feature-off behavior. The cancelled slot's
 			// container joins the pool when its cold start delivers.
 			d.cancelSlot(slot)
-			w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, acquired)
+			w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Fence: d.clusterFence(inv)}, acquired)
 			return
 		}
 		acquirePhase = "prewarm"
@@ -220,7 +243,7 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 		}
 		return
 	}
-	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, acquired)
+	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Fence: d.clusterFence(inv)}, acquired)
 }
 
 // crashRetry re-runs an executor after an injected container crash. The
@@ -257,6 +280,12 @@ func (d *Deployment) recoverExecutor(inv *invocation, id dag.NodeID, replica, at
 	if reissue >= d.opts.MaxReissues {
 		st.finished = true
 		inv.failed = true
+		d.exhausted = append(d.exhausted, ErrReissuesExhausted{
+			Workflow: d.bench.Name,
+			Inv:      inv.id,
+			Step:     d.g.Node(id).Name,
+			Attempts: reissue,
+		})
 		d.pubStep(inv, id, obs.StepFailed)
 		onDone(true)
 		return

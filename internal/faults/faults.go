@@ -41,6 +41,17 @@ const (
 	// journal and re-dispatching only the uncommitted frontier. Targets
 	// every attached engine (see AttachEngines); Node is unused.
 	EngineDown
+	// EngineKill crashes one federation member (Engine names it): its
+	// journal tears, its lease stops renewing, and a peer claims its
+	// shards after lease expiry. The member restarts and rejoins at the
+	// window's close. Requires AttachFederation.
+	EngineKill
+	// EngineStall pauses one federation member's lease renewals for the
+	// window while its engine keeps executing — the failure detector's
+	// false-positive case. A stall longer than the lease TTL triggers a
+	// claim of a live engine's shards, which epoch fencing must resolve.
+	// Requires AttachFederation; Duration must be positive.
+	EngineStall
 )
 
 func (k Kind) String() string {
@@ -53,6 +64,10 @@ func (k Kind) String() string {
 		return "store-outage"
 	case EngineDown:
 		return "engine-down"
+	case EngineKill:
+		return "engine-kill"
+	case EngineStall:
+		return "engine-stall"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -70,6 +85,9 @@ type Fault struct {
 	Duration time.Duration
 	// Factor is the LinkDegraded capacity multiplier in [0,1].
 	Factor float64
+	// Engine targets EngineKill and EngineStall faults: the federation
+	// member ID.
+	Engine string
 }
 
 // Schedule is a set of fault windows, applied independently.
@@ -95,6 +113,17 @@ func (s Schedule) Validate() error {
 				return fmt.Errorf("faults: fault %d: factor %v outside [0,1]", i, f.Factor)
 			}
 		case StoreOutage, EngineDown:
+		case EngineKill:
+			if f.Engine == "" {
+				return fmt.Errorf("faults: fault %d: EngineKill needs an engine", i)
+			}
+		case EngineStall:
+			if f.Engine == "" {
+				return fmt.Errorf("faults: fault %d: EngineStall needs an engine", i)
+			}
+			if f.Duration <= 0 {
+				return fmt.Errorf("faults: fault %d: EngineStall needs a positive duration", i)
+			}
 		default:
 			return fmt.Errorf("faults: fault %d: unknown kind %d", i, int(f.Kind))
 		}
@@ -110,6 +139,16 @@ type Engine interface {
 	RestartEngine()
 }
 
+// Federation is the slice of the federation control plane the injector
+// drives for EngineKill and EngineStall faults (implemented by
+// *federation.Federation).
+type Federation interface {
+	KillEngine(id string) error
+	RestartEngine(id string) error
+	StallEngine(id string, d time.Duration) error
+	MemberIDs() []string
+}
+
 // Injector applies fault schedules to a simulation's substrate.
 type Injector struct {
 	env     *sim.Env
@@ -118,6 +157,7 @@ type Injector struct {
 	st      *store.Hybrid
 	bus     *obs.Bus
 	engines []Engine
+	fed     Federation
 
 	// downWindows records every NodeDown [start, end) armed at Install
 	// time, so schedulers can ask whether a node is inside an injected
@@ -151,6 +191,11 @@ func NewInjector(env *sim.Env, nodes map[string]*cluster.Node, fab *network.Fabr
 func (i *Injector) AttachEngines(engines ...Engine) {
 	i.engines = append(i.engines, engines...)
 }
+
+// AttachFederation registers the federation control plane EngineKill and
+// EngineStall faults target. Call before Install when the schedule
+// contains either kind.
+func (i *Injector) AttachFederation(fed Federation) { i.fed = fed }
 
 // NodeDownAt reports whether node sits inside an injected NodeDown window
 // at instant t. Replacement placement consults this so re-dispatched work
@@ -187,6 +232,20 @@ func (i *Injector) Install(s Schedule) error {
 		case EngineDown:
 			if len(i.engines) == 0 {
 				return fmt.Errorf("faults: fault %d: EngineDown with no engines attached", idx)
+			}
+		case EngineKill, EngineStall:
+			if i.fed == nil {
+				return fmt.Errorf("faults: fault %d: %v with no federation attached", idx, f.Kind)
+			}
+			known := false
+			for _, id := range i.fed.MemberIDs() {
+				if id == f.Engine {
+					known = true
+					break
+				}
+			}
+			if !known {
+				return fmt.Errorf("faults: fault %d: unknown federation member %q", idx, f.Engine)
 			}
 		}
 	}
@@ -228,6 +287,10 @@ func (i *Injector) apply(f Fault) {
 		for _, e := range i.engines {
 			e.CrashEngine() // publishes EngineFaultEvent
 		}
+	case EngineKill:
+		i.fed.KillEngine(f.Engine) // federation publishes lease/claim events
+	case EngineStall:
+		i.fed.StallEngine(f.Engine, f.Duration)
 	}
 }
 
@@ -246,6 +309,11 @@ func (i *Injector) recover(f Fault) {
 		for _, e := range i.engines {
 			e.RestartEngine() // publishes EngineFaultEvent
 		}
+	case EngineKill:
+		i.fed.RestartEngine(f.Engine)
+	case EngineStall:
+		// StallEngine self-recovers at the window's close; the recovery
+		// event only closes the bookkeeping window.
 	}
 }
 
@@ -266,6 +334,27 @@ func (i *Injector) Recovered() int64 { return i.recovered }
 // of the caller's map does not leak in), kill instants are uniform over
 // [window/4, 3*window/4] (mid-run, when work is in flight), and each node
 // stays down for a duration uniform in [minDown, maxDown].
+// RollingEngineKills builds the rolling-restart chaos schedule for a
+// federation: member i is killed at start + i*every and restarts down
+// later. With down < every at most one member is dead at a time, so every
+// kill has a live successor to claim its shards — the gate scenario for
+// zero lost steps across repeated failovers. Members are killed in sorted
+// order for determinism.
+func RollingEngineKills(members []string, start, every, down time.Duration) Schedule {
+	sorted := append([]string(nil), members...)
+	sort.Strings(sorted)
+	var s Schedule
+	for i, m := range sorted {
+		s = append(s, Fault{
+			Kind:     EngineKill,
+			Engine:   m,
+			At:       start + time.Duration(i)*every,
+			Duration: down,
+		})
+	}
+	return s
+}
+
 func RandomNodeKills(r *sim.Rand, workers []string, n int, window, minDown, maxDown time.Duration) Schedule {
 	if len(workers) == 0 || n <= 0 {
 		return nil

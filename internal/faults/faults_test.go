@@ -309,3 +309,97 @@ func TestEngineDownDrivesAttachedEngines(t *testing.T) {
 		t.Fatalf("counters = %d/%d, want 1/1", inj.Injected(), inj.Recovered())
 	}
 }
+
+type fakeFed struct {
+	killed, restarted, stalled []string
+	stallDur                   time.Duration
+}
+
+func (f *fakeFed) KillEngine(id string) error    { f.killed = append(f.killed, id); return nil }
+func (f *fakeFed) RestartEngine(id string) error { f.restarted = append(f.restarted, id); return nil }
+func (f *fakeFed) StallEngine(id string, d time.Duration) error {
+	f.stalled = append(f.stalled, id)
+	f.stallDur = d
+	return nil
+}
+func (f *fakeFed) MemberIDs() []string { return []string{"e0", "e1", "e2"} }
+
+// TestFederationFaultValidation: EngineKill/EngineStall require an attached
+// federation, a known member, and (for stalls) a positive duration.
+func TestFederationFaultValidation(t *testing.T) {
+	env := sim.NewEnv()
+	inj := NewInjector(env, nil, nil, nil, nil)
+	if err := inj.Install(Schedule{{Kind: EngineKill, Engine: "e0", At: time.Second}}); err == nil {
+		t.Fatal("EngineKill accepted with no federation attached")
+	}
+	inj.AttachFederation(&fakeFed{})
+	if err := inj.Install(Schedule{{Kind: EngineKill, Engine: "nope", At: time.Second}}); err == nil {
+		t.Fatal("EngineKill accepted an unknown member")
+	}
+	if err := (Schedule{{Kind: EngineStall, Engine: "e0", At: time.Second}}).Validate(); err == nil {
+		t.Fatal("EngineStall accepted without a duration")
+	}
+	if err := (Schedule{{Kind: EngineKill}}).Validate(); err == nil {
+		t.Fatal("EngineKill accepted without an engine")
+	}
+}
+
+// TestRollingEngineKillsSchedule: the builder kills each member in sorted
+// order, one window at a time, and the injector drives kill/restart pairs
+// through the federation.
+func TestRollingEngineKillsSchedule(t *testing.T) {
+	s := RollingEngineKills([]string{"e2", "e0", "e1"}, time.Second, 3*time.Second, 2*time.Second)
+	if len(s) != 3 {
+		t.Fatalf("%d faults, want 3", len(s))
+	}
+	wantAt := []time.Duration{time.Second, 4 * time.Second, 7 * time.Second}
+	wantEng := []string{"e0", "e1", "e2"}
+	for i, f := range s {
+		if f.Kind != EngineKill || f.Engine != wantEng[i] || f.At != wantAt[i] || f.Duration != 2*time.Second {
+			t.Fatalf("fault %d = %+v", i, f)
+		}
+	}
+	env := sim.NewEnv()
+	inj := NewInjector(env, nil, nil, nil, nil)
+	fed := &fakeFed{}
+	inj.AttachFederation(fed)
+	if err := inj.Install(s); err != nil {
+		t.Fatal(err)
+	}
+	env.RunUntil(sim.Time(5 * time.Second))
+	if len(fed.killed) != 2 || len(fed.restarted) != 1 {
+		t.Fatalf("mid-run: killed=%v restarted=%v", fed.killed, fed.restarted)
+	}
+	env.Run()
+	if len(fed.killed) != 3 || len(fed.restarted) != 3 {
+		t.Fatalf("end: killed=%v restarted=%v", fed.killed, fed.restarted)
+	}
+	for i := range fed.killed {
+		if fed.killed[i] != wantEng[i] || fed.restarted[i] != wantEng[i] {
+			t.Fatalf("order wrong: killed=%v restarted=%v", fed.killed, fed.restarted)
+		}
+	}
+	if inj.Injected() != 3 || inj.Recovered() != 3 {
+		t.Fatalf("injected=%d recovered=%d", inj.Injected(), inj.Recovered())
+	}
+}
+
+// TestEngineStallDrivesFederation: the stall fault forwards the window
+// duration and never calls RestartEngine (the stall self-recovers).
+func TestEngineStallDrivesFederation(t *testing.T) {
+	env := sim.NewEnv()
+	inj := NewInjector(env, nil, nil, nil, nil)
+	fed := &fakeFed{}
+	inj.AttachFederation(fed)
+	err := inj.Install(Schedule{{Kind: EngineStall, Engine: "e1", At: time.Second, Duration: 4 * time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env.Run()
+	if len(fed.stalled) != 1 || fed.stalled[0] != "e1" || fed.stallDur != 4*time.Second {
+		t.Fatalf("stalled=%v dur=%v", fed.stalled, fed.stallDur)
+	}
+	if len(fed.killed) != 0 || len(fed.restarted) != 0 {
+		t.Fatalf("stall must not kill/restart: %+v", fed)
+	}
+}

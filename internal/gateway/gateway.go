@@ -6,8 +6,12 @@
 //	GET  /workflows            list deployed workflows
 //	GET  /workflows/{name}     placement, groups, locality
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
-//	                           (429 + Retry-After when admission rejects)
+//	                           (429 + Retry-After when admission rejects;
+//	                           503 + Retry-After mid federation handoff)
 //	GET  /workflows/{name}/journal committed step records (durable deploys)
+//	GET  /workflows/{name}/federation  lease/epoch/handoff counters
+//	POST /workflows/{name}/federation  {"op": kill|restart|stall|advance}
+//	                           chaos and clock control (federated deploys)
 //	GET  /workflows/{name}/fastpath fast-path options and counters
 //	                           (fast-path deploys)
 //	GET  /workflows/{name}/trace   Chrome trace of observed invocations
@@ -161,6 +165,21 @@ type deployRequest struct {
 		Prewarm       bool `json:"prewarm,omitempty"`
 		Memoize       bool `json:"memoize,omitempty"`
 	} `json:"fastPath,omitempty"`
+	// Federated deploys the workflow behind a sharded engine federation
+	// (lease-based failover with journal handoff); every member is durable.
+	// Takes precedence over Durable.
+	Federated bool `json:"federated,omitempty"`
+	// Federation tunes the federated deployment; zero values take the
+	// library defaults (3 members, 16 shards, 2s lease TTL, 250ms handoff).
+	Federation struct {
+		Members        int    `json:"members,omitempty"`
+		Shards         int    `json:"shards,omitempty"`
+		LeaseTTLMs     int    `json:"leaseTTLMs,omitempty"`
+		RenewEveryMs   int    `json:"renewEveryMs,omitempty"`
+		CheckEveryMs   int    `json:"checkEveryMs,omitempty"`
+		HandoffDelayMs int    `json:"handoffDelayMs,omitempty"`
+		Seed           uint64 `json:"seed,omitempty"`
+	} `json:"federation,omitempty"`
 }
 
 // workflowInfo is the GET /workflows/{name} response.
@@ -237,6 +256,21 @@ func (s *Server) deploy(req deployRequest) (*workflowInfo, error) {
 	var app *faasflow.App
 	var err error
 	switch {
+	case req.Federated:
+		fc := req.Federation
+		app, err = s.cluster.DeployFederated(wf, s.mode, faasflow.FederationOptions{
+			Members:      fc.Members,
+			Shards:       fc.Shards,
+			LeaseTTL:     time.Duration(fc.LeaseTTLMs) * time.Millisecond,
+			RenewEvery:   time.Duration(fc.RenewEveryMs) * time.Millisecond,
+			CheckEvery:   time.Duration(fc.CheckEveryMs) * time.Millisecond,
+			HandoffDelay: time.Duration(fc.HandoffDelayMs) * time.Millisecond,
+			Seed:         fc.Seed,
+			Durability: faasflow.Durability{
+				ReplicationFactor: req.ReplicationFactor,
+				FastPath:          fp,
+			},
+		})
 	case req.Durable:
 		app, err = s.cluster.DeployDurable(wf, s.mode, faasflow.Durability{
 			ReplicationFactor: req.ReplicationFactor,
@@ -324,8 +358,30 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		defer release()
+		// Federation handoff gates the request the same way admission does:
+		// a shard claimed from an expired member rejects invocations until
+		// its journal replay window closes, so requests arriving mid-handoff
+		// get 503 + Retry-After instead of racing the replay.
+		if wait, pending := app.HandoffPending(); pending {
+			w.Header().Set("Retry-After", retryAfterSeconds(wait))
+			fail(w, &httpError{http.StatusServiceUnavailable,
+				fmt.Sprintf("federation handoff in progress, retry after %v", wait)})
+			return
+		}
 		var stats faasflow.Stats
 		switch {
+		case app.Federated():
+			if req.RatePerMinute > 0 || req.Args != nil {
+				fail(w, &httpError{http.StatusBadRequest,
+					"federated invoke supports closed-loop runs only"})
+				return
+			}
+			st, err := app.RunFederated(req.N)
+			if err != nil {
+				fail(w, &httpError{http.StatusInternalServerError, err.Error()})
+				return
+			}
+			stats = st
 		case req.RatePerMinute > 0:
 			stats = app.RunOpenLoop(req.RatePerMinute, req.N)
 		case req.Args != nil:
@@ -355,6 +411,37 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			"stats":   app.DurableStats(),
 			"entries": entries,
 		})
+	case action == "federation" && r.Method == http.MethodGet:
+		if !app.Federated() {
+			fail(w, &httpError{http.StatusNotFound,
+				fmt.Sprintf("workflow %q was not deployed federated", name)})
+			return
+		}
+		exhausted := app.ExhaustionFailures()
+		if exhausted == nil {
+			exhausted = []faasflow.ExhaustionRecord{}
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"members":   app.FederationMembers(),
+			"stats":     app.FederationStats(),
+			"exhausted": exhausted,
+		})
+	case action == "federation" && r.Method == http.MethodPost:
+		if !app.Federated() {
+			fail(w, &httpError{http.StatusNotFound,
+				fmt.Sprintf("workflow %q was not deployed federated", name)})
+			return
+		}
+		var req fedActionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			fail(w, &httpError{http.StatusBadRequest, "invalid JSON: " + err.Error()})
+			return
+		}
+		if err := s.fedAction(app, req); err != nil {
+			fail(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{"stats": app.FederationStats()})
 	case action == "fastpath" && r.Method == http.MethodGet:
 		if !app.FastPath().Enabled() {
 			fail(w, &httpError{http.StatusNotFound,
@@ -423,6 +510,46 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// fedActionRequest is the POST /workflows/{name}/federation body: a chaos
+// or clock-control op against a federated deployment.
+type fedActionRequest struct {
+	// Op is one of kill, restart, stall (member required; stall also needs
+	// durationMs) or advance (advanceMs required) — advance runs the
+	// simulation clock forward so lease expiries and handoffs progress
+	// between HTTP requests.
+	Op         string `json:"op"`
+	Member     string `json:"member,omitempty"`
+	DurationMs int    `json:"durationMs,omitempty"`
+	AdvanceMs  int    `json:"advanceMs,omitempty"`
+}
+
+func (s *Server) fedAction(app *faasflow.App, req fedActionRequest) error {
+	var err error
+	switch req.Op {
+	case "kill":
+		err = app.KillFederationMember(req.Member)
+	case "restart":
+		err = app.RestartFederationMember(req.Member)
+	case "stall":
+		if req.DurationMs <= 0 {
+			return &httpError{http.StatusBadRequest, "stall needs durationMs > 0"}
+		}
+		err = app.StallFederationMember(req.Member, time.Duration(req.DurationMs)*time.Millisecond)
+	case "advance":
+		if req.AdvanceMs <= 0 {
+			return &httpError{http.StatusBadRequest, "advance needs advanceMs > 0"}
+		}
+		s.cluster.Advance(time.Duration(req.AdvanceMs) * time.Millisecond)
+	default:
+		return &httpError{http.StatusBadRequest,
+			fmt.Sprintf("unknown op %q (use kill, restart, stall, or advance)", req.Op)}
+	}
+	if err != nil {
+		return &httpError{http.StatusBadRequest, err.Error()}
+	}
+	return nil
+}
+
 // handleMetrics serves the Prometheus text exposition of everything the
 // attached observer has collected.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -465,14 +592,22 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 	// the fault metrics on /metrics they are the gateway's view of how much
 	// work the recovery layer re-did.
 	var fs faasflow.FailureStats
-	for _, app := range s.apps {
-		st := app.FailureStats()
+	exhausted := []faasflow.ExhaustionRecord{}
+	names := make([]string, 0, len(s.apps))
+	for name := range s.apps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		st := s.apps[name].FailureStats()
 		fs.Crashes += st.Crashes
 		fs.Retries += st.Retries
 		fs.Timeouts += st.Timeouts
 		fs.Reissues += st.Reissues
 		fs.Replacements += st.Replacements
 		fs.FailedInvocations += st.FailedInvocations
+		fs.ReissuesExhausted += st.ReissuesExhausted
+		exhausted = append(exhausted, st.Exhausted...)
 	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -490,7 +625,11 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 			"reissues":          fs.Reissues,
 			"replacements":      fs.Replacements,
 			"failedInvocations": fs.FailedInvocations,
+			"reissuesExhausted": fs.ReissuesExhausted,
 		},
+		// exhaustedSteps carries the typed record for every step that burned
+		// its whole re-issue budget: workflow, invocation, step, attempts.
+		"exhaustedSteps": exhausted,
 	})
 }
 

@@ -256,6 +256,33 @@ func (tb *Testbed) deployWithPlacement(bench *workloads.Benchmark, place *schedu
 	return &Deployment{Bench: bench, Engine: eng, Placement: place}, nil
 }
 
+// DeployReplicas deploys n engine deployments of one benchmark over a
+// single scheduled placement — the federation's member engines. The
+// scheduler capacity and FaaStore quota are charged once: the replicas are
+// control-plane copies sharing the same worker fleet, not extra workload.
+// optsFor builds each member's engine options (each federation member
+// needs its own journal, so options cannot be shared verbatim).
+func (tb *Testbed) DeployReplicas(bench *workloads.Benchmark, n int, optsFor func(i int) engine.Options) ([]*Deployment, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("harness: DeployReplicas needs n > 0, got %d", n)
+	}
+	first, err := tb.Deploy(bench, optsFor(0))
+	if err != nil {
+		return nil, err
+	}
+	out := []*Deployment{first}
+	for i := 1; i < n; i++ {
+		eng, err := engine.NewDeployment(tb.Runtime, bench, first.Placement.Worker, optsFor(i))
+		if err != nil {
+			return nil, err
+		}
+		eng.SetObserver(tb.bus)
+		tb.engines = append(tb.engines, eng)
+		out = append(out, &Deployment{Bench: bench, Engine: eng, Placement: first.Placement})
+	}
+	return out, nil
+}
+
 // grantQuota computes per-worker reclaimable memory for the benchmark's
 // nodes and hands it to the worker's in-memory store.
 func (tb *Testbed) grantQuota(bench *workloads.Benchmark, place *scheduler.Placement) error {

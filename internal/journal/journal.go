@@ -78,6 +78,11 @@ type Stats struct {
 	CrashDropped int64
 	// Crashes counts Crash calls.
 	Crashes int64
+	// Fenced counts records rejected by the epoch fence — at Append (stale
+	// owner submitting after its shard moved) or at sync completion (a
+	// record buffered before the ownership change whose fsync landed after
+	// it). Fenced records never commit and their callbacks never fire.
+	Fenced int64
 }
 
 type stepKey struct {
@@ -108,6 +113,13 @@ type WAL struct {
 	// syncStart is when the in-flight fsync began, for torn-tail math.
 	syncStart sim.Time
 
+	// fence, when set, must return true for a record to commit. It is
+	// checked at Append and again when a batch becomes durable, so a
+	// record buffered under an owner that lost its shard mid-sync is
+	// rejected exactly like a late append — the log is the last line of
+	// defense against a stale engine double-committing a step.
+	fence func(rec Record) bool
+
 	stats Stats
 }
 
@@ -122,12 +134,24 @@ func New(env *sim.Env, cfg Config) *WAL {
 	}
 }
 
+// SetFence installs an ownership check consulted before any record
+// commits: at Append time and again when its batch syncs. A record the
+// fence rejects is dropped (counted in Stats.Fenced) and its callback
+// never fires — mirroring a lease-protected log refusing a writer whose
+// epoch is stale.
+func (w *WAL) SetFence(fn func(rec Record) bool) { w.fence = fn }
+
 // Append submits a step-completion record. done (optional) fires once the
 // record is durable, with the durable instant; for a duplicate it fires
 // immediately with the current time and the record is dropped. Callbacks
-// for records buffered at a crash never fire.
+// for records buffered at a crash, and for records the fence rejects,
+// never fire.
 func (w *WAL) Append(rec Record, done func(at sim.Time)) {
 	w.stats.Appends++
+	if w.fence != nil && !w.fence(rec) {
+		w.stats.Fenced++
+		return
+	}
 	key := stepKey{rec.Inv, rec.Step}
 	if w.durable[key] || w.inBuf[key] {
 		w.stats.DupDrops++
@@ -163,6 +187,11 @@ func (w *WAL) syncDone() {
 	w.syncing = nil
 	now := w.env.Now()
 	for _, p := range batch {
+		if w.fence != nil && !w.fence(p.rec) {
+			w.stats.Fenced++
+			delete(w.inBuf, stepKey{p.rec.Inv, p.rec.Step})
+			continue
+		}
 		w.commit(p.rec, now)
 		if p.done != nil {
 			p.done(now)
@@ -210,6 +239,11 @@ func (w *WAL) Crash() {
 		}
 		now := w.env.Now()
 		for _, p := range w.syncing[:keep] {
+			if w.fence != nil && !w.fence(p.rec) {
+				w.stats.Fenced++
+				delete(w.inBuf, stepKey{p.rec.Inv, p.rec.Step})
+				continue
+			}
 			w.commit(p.rec, now)
 		}
 		w.stats.TornTail += int64(len(w.syncing) - keep)

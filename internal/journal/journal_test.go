@@ -177,3 +177,144 @@ func TestCommittedStepsAndEntries(t *testing.T) {
 		t.Fatalf("Entries = %v; want commit order [inv1 inv2]", got)
 	}
 }
+
+// Satellite: Crash landing inside an open group-commit BatchWindow — no
+// fsync has even started, so the torn tail is the whole open batch and the
+// durable prefix is exactly the last completed fsync.
+func TestCrashInsideOpenBatchWindowTruncatesToLastFsync(t *testing.T) {
+	env := sim.NewEnv()
+	w := New(env, testCfg())
+	// First batch: steps 0,1 — let it commit fully (durable at 2.5ms).
+	env.Schedule(0, func() {
+		w.Append(rec(1, 0), nil)
+		w.Append(rec(1, 1), nil)
+	})
+	// Second batch opens at 4ms; crash lands at 4.2ms, inside the 500µs
+	// window, before closeBatch ever seals it.
+	env.Schedule(4*time.Millisecond, func() {
+		w.Append(rec(1, 2), nil)
+		w.Append(rec(1, 3), nil)
+	})
+	env.Schedule(4200*time.Microsecond, w.Crash)
+	env.Run()
+	st := w.Stats()
+	if st.Committed != 2 {
+		t.Fatalf("committed = %d; want 2 (last fsync only)", st.Committed)
+	}
+	if st.CrashDropped != 2 {
+		t.Fatalf("crashDropped = %d; want 2 (the open batch)", st.CrashDropped)
+	}
+	if st.TornTail != 0 {
+		t.Fatalf("tornTail = %d; want 0 (no fsync was in flight)", st.TornTail)
+	}
+	if w.Committed(1, 2) || w.Committed(1, 3) {
+		t.Fatal("open-batch records must not be durable after crash")
+	}
+	// The truncated steps are re-appendable: a successor replaying this log
+	// re-dispatches them and their commits are NOT duplicate-dropped.
+	before := w.Stats().DupDrops
+	w.Append(rec(1, 2), nil)
+	w.Append(rec(1, 3), nil)
+	env.Run()
+	st = w.Stats()
+	if st.DupDrops != before {
+		t.Fatalf("re-append of truncated steps dup-dropped (dupDrops %d -> %d)", before, st.DupDrops)
+	}
+	if !w.Committed(1, 2) || !w.Committed(1, 3) {
+		t.Fatal("re-appended truncated steps must commit")
+	}
+}
+
+// Fence at Append: a stale writer's record is dropped, never commits, and
+// its callback never fires.
+func TestFenceRejectsAtAppend(t *testing.T) {
+	env := sim.NewEnv()
+	w := New(env, testCfg())
+	allow := true
+	w.SetFence(func(Record) bool { return allow })
+	env.Schedule(0, func() { w.Append(rec(1, 0), nil) })
+	env.Schedule(3*time.Millisecond, func() {
+		allow = false
+		w.Append(rec(1, 1), func(sim.Time) { t.Error("fenced append callback fired") })
+	})
+	env.Run()
+	st := w.Stats()
+	if st.Fenced != 1 || st.Committed != 1 {
+		t.Fatalf("stats = %+v; want 1 fenced, 1 committed", st)
+	}
+	if w.Committed(1, 1) {
+		t.Fatal("fenced record must not be durable")
+	}
+}
+
+// Fence at sync completion: a record accepted into the batch under the old
+// epoch is rejected when its fsync lands after the ownership change —
+// the log's last line of defense against a double commit.
+func TestFenceRejectsAtSyncCompletion(t *testing.T) {
+	env := sim.NewEnv()
+	w := New(env, testCfg())
+	allow := true
+	w.SetFence(func(Record) bool { return allow })
+	env.Schedule(0, func() {
+		w.Append(rec(1, 0), func(sim.Time) { t.Error("callback fired for record fenced at sync") })
+	})
+	// Batch closes at 500µs, fsync lands at 2.5ms; fence flips at 1ms —
+	// mid-sync, after the record was accepted.
+	env.Schedule(time.Millisecond, func() { allow = false })
+	env.Run()
+	st := w.Stats()
+	if st.Fenced != 1 || st.Committed != 0 {
+		t.Fatalf("stats = %+v; want 1 fenced, 0 committed", st)
+	}
+	// The step is re-appendable by the new owner once the fence readmits it.
+	allow = true
+	w.Append(rec(1, 0), nil)
+	env.Run()
+	if !w.Committed(1, 0) {
+		t.Fatal("new owner's re-append must commit")
+	}
+	if w.Stats().DupDrops != 0 {
+		t.Fatalf("dupDrops = %d; want 0", w.Stats().DupDrops)
+	}
+}
+
+// View: cross-log union for handoff replay — committed steps scattered
+// across two engines' logs read as one invocation history.
+func TestViewUnionsLogsForHandoff(t *testing.T) {
+	env := sim.NewEnv()
+	a := New(env, testCfg())
+	b := New(env, testCfg())
+	env.Schedule(0, func() {
+		a.Append(rec(7, 0), nil)
+		a.Append(rec(7, 1), nil)
+	})
+	env.Schedule(5*time.Millisecond, func() {
+		b.Append(rec(7, 2), nil)
+		b.Append(rec(8, 0), nil)
+	})
+	env.Run()
+	v := NewView(a, b)
+	for _, step := range []int{0, 1, 2} {
+		if !v.Committed(7, step) {
+			t.Fatalf("view missing (7,%d)", step)
+		}
+	}
+	steps := v.CommittedSteps(7)
+	if len(steps) != 3 {
+		t.Fatalf("CommittedSteps(7) = %d entries; want 3", len(steps))
+	}
+	shard := v.ShardSteps([]int64{7, 8, 9})
+	if len(shard[7]) != 3 || len(shard[8]) != 1 {
+		t.Fatalf("shard read = %d,%d entries; want 3,1", len(shard[7]), len(shard[8]))
+	}
+	if shard[9] == nil || len(shard[9]) != 0 {
+		t.Fatal("unseen invocation must read as empty, non-nil map")
+	}
+	ids := v.InvocationIDs()
+	if len(ids) != 2 || ids[0] != 7 || ids[1] != 8 {
+		t.Fatalf("InvocationIDs = %v; want [7 8]", ids)
+	}
+	if got := v.Stats().Committed; got != 4 {
+		t.Fatalf("view committed = %d; want 4", got)
+	}
+}

@@ -1,5 +1,7 @@
 package obs
 
+import "fmt"
+
 // Collector maps bus events onto a standard metric set in a Registry —
 // the series behind the gateway's GET /metrics endpoint. Metric names and
 // labels are documented in docs/OBSERVABILITY.md.
@@ -37,6 +39,12 @@ type Collector struct {
 	queueShed   *Counter
 	brkState    *Gauge
 	brkTrans    *Counter
+	leases      *Counter
+	claims      *Counter
+	shardEpoch  *Gauge
+	fenced      *Counter
+	handoffs    *Counter
+	handoffSec  *Histogram
 }
 
 // NewCollector registers the standard metric families on reg and returns
@@ -109,6 +117,18 @@ func NewCollector(reg *Registry) *Collector {
 			"Store circuit breaker state (0=closed, 1=open, 2=half_open).", "backend"),
 		brkTrans: reg.Counter("faasflow_store_breaker_transitions_total",
 			"Store circuit breaker state transitions.", "backend", "state"),
+		leases: reg.Counter("faasflow_federation_leases_total",
+			"Membership lease transitions per engine.", "engine", "event"),
+		claims: reg.Counter("faasflow_federation_claims_total",
+			"Shard ownership claims after lease expiry.", "from", "to"),
+		shardEpoch: reg.Gauge("faasflow_federation_shard_epoch",
+			"Current fencing epoch per shard.", "shard"),
+		fenced: reg.Counter("faasflow_federation_fenced_total",
+			"Stale-engine actions rejected by an epoch check.", "engine", "where"),
+		handoffs: reg.Counter("faasflow_federation_handoffs_total",
+			"Completed shard handoffs.", "from", "to"),
+		handoffSec: reg.Histogram("faasflow_federation_handoff_seconds",
+			"Lease expiry to uncommitted-cut re-dispatch per shard handoff.", nil, "to"),
 	}
 }
 
@@ -212,6 +232,20 @@ func (c *Collector) Handle(ev Event) {
 		}
 		c.brkState.Set(state, e.Backend)
 		c.brkTrans.Inc(e.Backend, e.State)
+	case LeaseEvent:
+		event := "expired"
+		if e.Renewed {
+			event = "renewed"
+		}
+		c.leases.Inc(e.Engine, event)
+	case ShardClaimEvent:
+		c.claims.Inc(e.From, e.To)
+		c.shardEpoch.Set(float64(e.Epoch), fmt.Sprintf("%d", e.Shard))
+	case FenceEvent:
+		c.fenced.Inc(e.Engine, e.Where)
+	case HandoffEvent:
+		c.handoffs.Inc(e.From, e.To)
+		c.handoffSec.Observe((e.At - e.Expired).Duration().Seconds(), e.To)
 	}
 }
 

@@ -61,6 +61,10 @@ const (
 	// that replaces a step's execution when (function, input hash) was seen
 	// before.
 	CompMemoHit
+	// CompHandoff is federation failover overhead: the dead time between an
+	// owner engine's last durable commit for a step and the successor engine
+	// re-dispatching it after claiming the shard and replaying the journal.
+	CompHandoff
 
 	numComponents
 )
@@ -91,6 +95,8 @@ func (c Component) String() string {
 		return "prewarm"
 	case CompMemoHit:
 		return "memo"
+	case CompHandoff:
+		return "handoff"
 	default:
 		return fmt.Sprintf("Component(%d)", int(c))
 	}
@@ -577,6 +583,78 @@ type BreakerEvent struct {
 
 func (e BreakerEvent) Kind() string   { return "breaker" }
 func (e BreakerEvent) When() sim.Time { return e.At }
+
+// ---------------------------------------------------------------------------
+// Federation events.
+
+// LeaseEvent records one membership-table lease transition for an engine:
+// a renewal pushing Expiry forward, or the failure detector observing the
+// lease expired (Renewed=false). Expired leases trigger shard claims.
+type LeaseEvent struct {
+	Engine  string
+	Renewed bool // true = renewal, false = detector saw it expired
+	Expiry  sim.Time
+	At      sim.Time
+}
+
+func (e LeaseEvent) Kind() string   { return "lease" }
+func (e LeaseEvent) When() sim.Time { return e.At }
+
+// ShardClaimEvent records a successor engine claiming one shard from an
+// engine whose lease expired. Epoch is the shard's new fencing epoch; every
+// dispatch or journal append stamped with an older epoch is rejected from
+// this instant on. Invocations counts live invocations adopted with the
+// shard.
+type ShardClaimEvent struct {
+	Shard       int
+	From        string
+	To          string
+	Epoch       int64
+	Invocations int
+	At          sim.Time
+}
+
+func (e ShardClaimEvent) Kind() string   { return "shard-claim" }
+func (e ShardClaimEvent) When() sim.Time { return e.At }
+
+// FenceEvent records an epoch check rejecting a stale engine's late action:
+// a dispatch, container acquire, executor phase boundary, or journal
+// append/sync issued by an engine that no longer owns the invocation's
+// shard. Where names the rejection point.
+type FenceEvent struct {
+	Workflow string
+	Engine   string // the fenced (stale) engine
+	Inv      int64
+	Step     int    // dag.NodeID; -1 when not step-scoped
+	Where    string // "dispatch" | "acquire" | "exec" | "store" | "append" | "sync"
+	Epoch    int64  // the shard's current epoch that fenced the action
+	At       sim.Time
+}
+
+func (e FenceEvent) Kind() string   { return "fence" }
+func (e FenceEvent) When() sim.Time { return e.At }
+
+// HandoffEvent records one completed shard handoff: the successor read the
+// claimed invocations' journals, skipped committed steps, and re-dispatched
+// the uncommitted cut. Expired is the victim's lease-expiry instant, Start
+// the claim instant, At the instant adoption (replay + re-dispatch) was
+// issued — so At-Expired is the detector + replay cost and At-Start the
+// replay cost alone.
+type HandoffEvent struct {
+	Shard        int
+	From         string
+	To           string
+	Epoch        int64
+	Adopted      int // live invocations moved to the successor
+	Replayed     int // committed steps skipped across adopted invocations
+	Redispatched int // uncommitted frontier steps re-issued
+	Expired      sim.Time
+	Start        sim.Time
+	At           sim.Time
+}
+
+func (e HandoffEvent) Kind() string   { return "handoff" }
+func (e HandoffEvent) When() sim.Time { return e.At }
 
 // ---------------------------------------------------------------------------
 // Bus.

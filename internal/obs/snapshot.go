@@ -97,6 +97,14 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 		ev, err = unmarshal(&DeadlineEvent{})
 	case "breaker":
 		ev, err = unmarshal(&BreakerEvent{})
+	case "lease":
+		ev, err = unmarshal(&LeaseEvent{})
+	case "shard-claim":
+		ev, err = unmarshal(&ShardClaimEvent{})
+	case "fence":
+		ev, err = unmarshal(&FenceEvent{})
+	case "handoff":
+		ev, err = unmarshal(&HandoffEvent{})
 	default:
 		return nil, fmt.Errorf("obs: snapshot holds unknown event kind %q (newer writer?)", kind)
 	}
@@ -144,6 +152,14 @@ func decodeEvent(kind string, raw json.RawMessage) (Event, error) {
 	case *DeadlineEvent:
 		return *e, nil
 	case *BreakerEvent:
+		return *e, nil
+	case *LeaseEvent:
+		return *e, nil
+	case *ShardClaimEvent:
+		return *e, nil
+	case *FenceEvent:
+		return *e, nil
+	case *HandoffEvent:
 		return *e, nil
 	}
 	return ev, nil
