@@ -78,6 +78,7 @@ func main() {
 		durable  = flag.Bool("durable", false, "run only the durable-execution scenario (shorthand for -run durable)")
 		fastpath = flag.Bool("fastpath", false, "run only the data-plane fast-path scenario (shorthand for -run fastpath)")
 		fed      = flag.Bool("federation", false, "run only the engine-federation failover scenario (shorthand for -run federation)")
+		tenants  = flag.Bool("tenants", false, "run only the multi-tenant noisy-neighbor scenario (shorthand for -run tenants)")
 
 		benchjson  = flag.String("benchjson", "", "run the perf suite and write a BENCH snapshot to this file (skips experiments unless -run is passed explicitly)")
 		whatifOut  = flag.String("whatif", "", "run the causal what-if sweep on Genome and write the profile JSON to this file (skips experiments unless -run is passed explicitly)")
@@ -96,6 +97,7 @@ func main() {
 	flag.StringVar(&durableSnapDir, "durable-snapshots", "", "write each durable mode×scenario's flight-recorder snapshot into this directory")
 	flag.StringVar(&fastpathSnapDir, "fastpath-snapshots", "", "write each fast-path mode×variant's flight-recorder snapshot into this directory")
 	flag.StringVar(&fedSnapDir, "federation-snapshots", "", "write each federation mode×scenario's flight-recorder snapshot into this directory")
+	flag.StringVar(&tenantSnapDir, "tenants-snapshots", "", "write each tenancy mode's flight-recorder snapshot into this directory")
 	flag.Parse()
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -145,7 +147,10 @@ func main() {
 	if *fed {
 		*run = "federation"
 	}
-	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir, fastpathSnapDir, fedSnapDir} {
+	if *tenants {
+		*run = "tenants"
+	}
+	for _, dir := range []string{csvDir, svgDir, chaosSnapDir, overloadSnapDir, durableSnapDir, fastpathSnapDir, fedSnapDir, tenantSnapDir} {
 		if dir == "" {
 			continue
 		}
@@ -206,7 +211,7 @@ func main() {
 		}
 	}
 	if ran == 0 && *snap == "" && *benchjson == "" && *whatifOut == "" {
-		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable fastpath federation\n", *run)
+		fmt.Fprintf(os.Stderr, "no experiment matched %q; known: fig4 fig5 fig11 table4 fig12 fig13 fig14 fig15 fig16 sec57 coldstart claims chaos overload durable fastpath federation tenants\n", *run)
 		os.Exit(1)
 	}
 }
@@ -305,6 +310,36 @@ var experiments = []struct {
 	{"durable", "durable execution: engine crash replays the journal, node kill reads replicas", runDurable},
 	{"fastpath", "data-plane fast path: direct passing, pre-warm, memoization vs the store-hop baseline", runFastPath},
 	{"federation", "engine federation: rolling member kills fail over by lease expiry and journal handoff", runFederation},
+	{"tenants", "multi-tenant isolation: one noisy tenant at 10x fair share, zero starvation required", runTenants},
+}
+
+// tenantSnapDir, when set, receives each tenancy mode's snapshot as
+// tenancy-<mode>.json — byte-identical across same-seed runs, which is what
+// the CI tenancy smoke job diffs.
+var tenantSnapDir string
+
+func runTenants(int) error {
+	rows, err := harness.Tenancy(harness.TenancySpec{}, nil)
+	if err != nil {
+		return err
+	}
+	emit("tenants", harness.RenderTenancy(rows))
+	for _, r := range rows {
+		fmt.Printf("%s: saturation %.2f/s, fair share %.3f/s per tenant, aggregate goodput %d (single-tenant reference %d), shed %d\n",
+			r.Mode, r.SatRate, r.FairRate, r.AggGoodput, r.RefGoodput, r.Shed)
+		if tenantSnapDir == "" {
+			continue
+		}
+		data, err := r.Snapshot.Marshal()
+		if err != nil {
+			return err
+		}
+		name := fmt.Sprintf("tenancy-%s.json", r.Mode)
+		if err := os.WriteFile(filepath.Join(tenantSnapDir, name), data, 0o644); err != nil {
+			return err
+		}
+	}
+	return harness.CheckTenancy(rows, 0.9, 0.1)
 }
 
 // durableSnapDir, when set, receives each durable mode×scenario snapshot as

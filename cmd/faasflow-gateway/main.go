@@ -15,9 +15,34 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strconv"
+	"strings"
 
+	"repro/faasflow"
 	"repro/internal/gateway"
 )
+
+// parseTenants turns "gold=3,bronze=1" into per-tenant weight configs; the
+// effective rates and caps derive from each tenant's weighted share of the
+// global admission limits (see docs/TENANCY.md).
+func parseTenants(spec string) (map[string]faasflow.TenantConfig, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := make(map[string]faasflow.TenantConfig)
+	for _, part := range strings.Split(spec, ",") {
+		name, weight, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("tenant spec %q: want name=weight", part)
+		}
+		w, err := strconv.ParseFloat(weight, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("tenant spec %q: bad weight", part)
+		}
+		out[name] = faasflow.TenantConfig{Weight: w}
+	}
+	return out, nil
+}
 
 func main() {
 	var (
@@ -30,8 +55,14 @@ func main() {
 		admitRate  = flag.Float64("admit-rate", 0, "admission: sustained invokes/sec (0 = unlimited)")
 		admitBurst = flag.Float64("admit-burst", 0, "admission: token-bucket burst (0 = rate)")
 		admitConc  = flag.Int("admit-concurrent", 0, "admission: max concurrent invoke requests (0 = unlimited)")
+		tenants    = flag.String("admit-tenants", "", `per-tenant weights, e.g. "gold=3,bronze=1" (requests carry a Tenant header)`)
 	)
 	flag.Parse()
+	tenantCfg, err := parseTenants(*tenants)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "faasflow-gateway:", err)
+		os.Exit(2)
+	}
 	srv := gateway.New(gateway.Config{
 		Workers:                *workers,
 		StorageBandwidthMB:     *storageMB,
@@ -41,6 +72,7 @@ func main() {
 		AdmissionRatePerSec:    *admitRate,
 		AdmissionBurst:         *admitBurst,
 		AdmissionMaxConcurrent: *admitConc,
+		AdmissionTenants:       tenantCfg,
 	})
 	fmt.Printf("faasflow-gateway listening on %s (%d workers, faastore=%v)\n",
 		*addr, *workers, *faastore)

@@ -127,8 +127,27 @@ type Node struct {
 	// cost can change without touching the shared Config.
 	coldScale float64
 
+	// tenantWeights drives weighted-fair Acquire queueing: relative shares
+	// for tenants in the map, weight 1 for everyone else (including the
+	// empty tenant). Nil = every tenant at weight 1.
+	tenantWeights map[string]float64
+	tenantStats   map[string]*TenantNodeStats
+
 	stats NodeStats
 	bus   *obs.Bus
+}
+
+// SetTenantWeights installs relative weights for weighted-fair Acquire
+// queueing (default 1 per tenant; non-positive entries are ignored). The
+// map is copied. Tags already assigned to queued waiters keep their old
+// weights.
+func (n *Node) SetTenantWeights(weights map[string]float64) {
+	n.tenantWeights = make(map[string]float64, len(weights))
+	for t, w := range weights {
+		if w > 0 {
+			n.tenantWeights[t] = w
+		}
+	}
 }
 
 // SetColdStartScale multiplies this node's container cold-start latency by
@@ -171,7 +190,7 @@ func (n *Node) pubContainer(fn string, op obs.ContainerOp) {
 	}
 	var warm, queued int
 	if p := n.pools[fn]; p != nil {
-		warm, queued = len(p.warm), len(p.waiting)
+		warm, queued = len(p.warm), p.q.size
 	}
 	n.bus.Publish(obs.ContainerEvent{
 		Node:       n.id,
@@ -198,6 +217,83 @@ func (n *Node) pubTask(start bool) {
 	})
 }
 
+// TenantNodeStats aggregates one tenant's Acquire-queue counters on a node
+// — the per-tenant breakdown behind the gateway's /cluster and /tenants
+// views.
+type TenantNodeStats struct {
+	Tenant         string `json:"tenant"`
+	QueuedWaits    int64  `json:"queuedWaits"`
+	Grants         int64  `json:"grants"` // containers handed to this tenant's waiters
+	Shed           int64  `json:"shed"`
+	DeadlineAborts int64  `json:"deadlineAborts"`
+	FencedAcquires int64  `json:"fencedAcquires"`
+}
+
+// tenantStat returns the tenant's counter block, allocating on first use.
+func (n *Node) tenantStat(tenant string) *TenantNodeStats {
+	if n.tenantStats == nil {
+		n.tenantStats = map[string]*TenantNodeStats{}
+	}
+	ts := n.tenantStats[tenant]
+	if ts == nil {
+		ts = &TenantNodeStats{Tenant: tenant}
+		n.tenantStats[tenant] = ts
+	}
+	return ts
+}
+
+// TenantStats returns per-tenant Acquire-queue counters, sorted by tenant
+// name. Only tenants that sent tenant-labelled requests appear.
+func (n *Node) TenantStats() []TenantNodeStats {
+	names := make([]string, 0, len(n.tenantStats))
+	for t := range n.tenantStats {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	out := make([]TenantNodeStats, 0, len(names))
+	for _, t := range names {
+		out = append(out, *n.tenantStats[t])
+	}
+	return out
+}
+
+// pubTenantQueue publishes one tenant-attributed queue transition and folds
+// it into the tenant's counters. No-op for untenanted waiters, so legacy
+// event streams are unchanged.
+func (n *Node) pubTenantQueue(fn, tenant, op string) {
+	if tenant == "" {
+		return
+	}
+	ts := n.tenantStat(tenant)
+	switch op {
+	case "enqueue":
+		ts.QueuedWaits++
+	case "grant":
+		ts.Grants++
+	case "shed":
+		ts.Shed++
+	case "deadline":
+		ts.DeadlineAborts++
+	case "fence":
+		ts.FencedAcquires++
+	}
+	if !n.bus.Active() {
+		return
+	}
+	queued := 0
+	if p := n.pools[fn]; p != nil {
+		queued = p.q.tenantLen(tenant)
+	}
+	n.bus.Publish(obs.TenantQueueEvent{
+		Node:     n.id,
+		Function: fn,
+		Tenant:   tenant,
+		Op:       op,
+		Queued:   queued,
+		At:       n.env.Now(),
+	})
+}
+
 // NodeStats aggregates a node's lifetime counters.
 type NodeStats struct {
 	ColdStarts     int64
@@ -215,11 +311,17 @@ type NodeStats struct {
 
 // waiter is one queued acquisition: its completion callback plus the
 // deadline expiry event that withdraws it from the queue (nil when the
-// request has no deadline).
+// request has no deadline), its tenant attribution, and its weighted-fair
+// scheduling tags.
 type waiter struct {
 	ready  func(c *Container, cold bool, err error)
 	expire *sim.Event
 	fence  func() error
+	tenant string
+
+	seq    uint64  // arrival order, unique per pool — FIFO tie-break
+	finish float64 // virtual finish tag (start-time fair queueing)
+	prev   float64 // tenant's lastFinish before this push, for shed rollback
 }
 
 // serve cancels the pending expiry (the waiter is being handed a
@@ -231,13 +333,143 @@ func (w *waiter) serve() {
 	}
 }
 
-type fnPool struct {
-	warm    []*Container
-	total   int // warm + busy containers for this function
-	peak    int
-	waiting []*waiter
-	nextID  int
+// wfq is a start-time weighted-fair queue of acquisition waiters: each
+// tenant keeps a private FIFO, every arrival is stamped with a virtual
+// finish tag F = max(vtime, lastFinish[tenant]) + 1/weight(tenant), and the
+// queue serves the head with the smallest (finish, seq). Tenants with
+// higher weight accrue smaller per-request increments, so they are served
+// proportionally more often; within a tenant the seq tie-break preserves
+// strict arrival order. With a single tenant the tags grow monotonically
+// with arrival, so the queue degenerates to exact FIFO — the pre-tenancy
+// behaviour.
+type wfq struct {
+	n          *Node
+	queues     map[string][]*waiter // per-tenant FIFO
+	lastFinish map[string]float64
+	vtime      float64 // virtual time: finish tag of the last served waiter
+	size       int
+	nextSeq    uint64
 }
+
+func newWFQ(n *Node) *wfq {
+	return &wfq{n: n, queues: map[string][]*waiter{}, lastFinish: map[string]float64{}}
+}
+
+// weight looks up the tenant's configured weight (default 1).
+func (q *wfq) weight(tenant string) float64 {
+	if w, ok := q.n.tenantWeights[tenant]; ok && w > 0 {
+		return w
+	}
+	return 1
+}
+
+// push enqueues w at the tail of its tenant's FIFO and stamps its tags.
+func (q *wfq) push(w *waiter) {
+	w.prev = q.lastFinish[w.tenant]
+	start := q.vtime
+	if w.prev > start {
+		start = w.prev
+	}
+	w.finish = start + 1/q.weight(w.tenant)
+	q.lastFinish[w.tenant] = w.finish
+	w.seq = q.nextSeq
+	q.nextSeq++
+	q.queues[w.tenant] = append(q.queues[w.tenant], w)
+	q.size++
+}
+
+// unpush removes a just-pushed waiter (the tail of its tenant's FIFO, with
+// nothing pushed since) and rolls the tenant's lastFinish back, so a shed
+// arrival does not penalize the tenant's next request.
+func (q *wfq) unpush(w *waiter) {
+	if q.remove(w) {
+		q.lastFinish[w.tenant] = w.prev
+	}
+}
+
+// peek returns the next waiter to serve without removing it: the queue-head
+// with the smallest (finish, seq). The (finish, seq) pair is unique per
+// waiter, so the selection is deterministic despite map iteration order.
+func (q *wfq) peek() *waiter {
+	var best *waiter
+	for _, ws := range q.queues {
+		w := ws[0]
+		if best == nil || w.finish < best.finish || (w.finish == best.finish && w.seq < best.seq) {
+			best = w
+		}
+	}
+	return best
+}
+
+// pop removes and returns the next waiter, advancing virtual time to its
+// finish tag.
+func (q *wfq) pop() *waiter {
+	w := q.peek()
+	if w == nil {
+		return nil
+	}
+	q.remove(w)
+	if w.finish > q.vtime {
+		q.vtime = w.finish
+	}
+	return w
+}
+
+// remove withdraws w wherever it stands (deadline expiry, fencing) and
+// reports whether it was queued. Virtual time does not advance: removal is
+// not service.
+func (q *wfq) remove(w *waiter) bool {
+	ws := q.queues[w.tenant]
+	for i, x := range ws {
+		if x == w {
+			ws = append(ws[:i], ws[i+1:]...)
+			if len(ws) == 0 {
+				delete(q.queues, w.tenant)
+			} else {
+				q.queues[w.tenant] = ws
+			}
+			q.size--
+			return true
+		}
+	}
+	return false
+}
+
+// contains reports whether w is still queued.
+func (q *wfq) contains(w *waiter) bool {
+	for _, x := range q.queues[w.tenant] {
+		if x == w {
+			return true
+		}
+	}
+	return false
+}
+
+// tenantLen reports one tenant's queued waiters.
+func (q *wfq) tenantLen(tenant string) int { return len(q.queues[tenant]) }
+
+// drain empties the queue and returns every waiter in arrival order — the
+// abort path (node failure) preserves pre-tenancy FIFO abort order.
+func (q *wfq) drain() []*waiter {
+	out := make([]*waiter, 0, q.size)
+	for _, ws := range q.queues {
+		out = append(out, ws...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].seq < out[j].seq })
+	q.queues = map[string][]*waiter{}
+	q.size = 0
+	return out
+}
+
+type fnPool struct {
+	warm   []*Container
+	total  int // warm + busy containers for this function
+	peak   int
+	q      *wfq
+	nextID int
+}
+
+func newFnPool(n *Node) *fnPool { return &fnPool{q: newWFQ(n)} }
 
 type cpuTask struct {
 	remaining float64 // CPU-seconds of work left
@@ -296,7 +528,17 @@ func (n *Node) WarmContainers(fn string) int {
 func (n *Node) QueuedAcquires() int {
 	total := 0
 	for _, p := range n.pools {
-		total += len(p.waiting)
+		total += p.q.size
+	}
+	return total
+}
+
+// TenantQueuedAcquires reports one tenant's waiting acquisitions across all
+// function pools.
+func (n *Node) TenantQueuedAcquires(tenant string) int {
+	total := 0
+	for _, p := range n.pools {
+		total += p.q.tenantLen(tenant)
 	}
 	return total
 }
@@ -358,8 +600,10 @@ func (n *Node) Reclaimed() int64 { return n.reclaimed }
 // whether the acquisition was a cold start. Warm reuse completes on the
 // next event tick; cold start pays Config.ColdStart; when the function is
 // at its scale limit or the node is out of memory, the request queues until
-// a container frees up. Requests are served strictly in arrival order: a
-// new request never jumps ahead of queued waiters.
+// a container frees up. Queued requests are served weighted-fair across
+// tenants and strictly in arrival order within a tenant; with no
+// tenant-labelled requests that is exact FIFO — a new request never jumps
+// ahead of queued waiters.
 //
 // If the node fails (Fail) before the request is served — or has already
 // failed — ready is called with a nil container; callers must treat that as
@@ -388,6 +632,13 @@ type AcquireOptions struct {
 	// request is about to be granted a container, so an ownership change
 	// while queued still fences the grant.
 	Fence func() error
+
+	// Tenant attributes the request for weighted-fair queueing: queued
+	// requests are served round-robin across tenants in proportion to
+	// SetTenantWeights, FIFO within a tenant, and Config.MaxQueueDepth
+	// bounds each tenant's queue separately. "" joins the untenanted queue
+	// (weight 1).
+	Tenant string
 
 	// unbounded marks legacy Acquire calls, which predate MaxQueueDepth
 	// and keep the historical never-shed semantics.
@@ -423,28 +674,41 @@ func (n *Node) acquire(fn string, opts AcquireOptions, ready func(c *Container, 
 	}
 	p := n.pools[fn]
 	if p == nil {
-		p = &fnPool{}
+		p = newFnPool(n)
 		n.pools[fn] = p
 	}
-	w := &waiter{ready: ready, fence: opts.Fence}
-	p.waiting = append(p.waiting, w)
-	n.pump(fn, p)
-	// pump serves FIFO from the front, so if anything is still queued our
-	// request (appended last) is among it.
-	if len(p.waiting) == 0 {
+	w := &waiter{ready: ready, fence: opts.Fence, tenant: opts.Tenant}
+	if p.q.size == 0 && n.canGrant(p) {
+		// Uncontended: grant without touching the fair queue. The entry
+		// fence check above still covers the grant (nothing ran in
+		// between), and no finish tag is accrued, so uncontended traffic
+		// never costs a tenant future priority.
+		n.grant(fn, p, w)
 		return
 	}
-	if !opts.unbounded && n.cfg.MaxQueueDepth > 0 && len(p.waiting) > n.cfg.MaxQueueDepth {
-		// Backpressure: shedding the newcomer (ourselves, at the tail)
-		// keeps FIFO order for everyone already standing.
-		p.waiting = p.waiting[:len(p.waiting)-1]
+	p.q.push(w)
+	n.pump(fn, p)
+	// Under weighted-fair queueing a newcomer with a small finish tag can be
+	// served ahead of standing waiters, so membership — not queue length —
+	// decides whether we are still waiting.
+	if !p.q.contains(w) {
+		return
+	}
+	if !opts.unbounded && n.cfg.MaxQueueDepth > 0 && p.q.tenantLen(w.tenant) > n.cfg.MaxQueueDepth {
+		// Backpressure: shedding the newcomer (the tail of its tenant's
+		// FIFO) keeps order for everyone already standing, and the depth
+		// bound is per tenant, so one tenant's backlog cannot shed another's
+		// requests.
+		p.q.unpush(w)
 		n.stats.Shed++
 		n.pubContainer(fn, obs.ContainerShed)
+		n.pubTenantQueue(fn, w.tenant, "shed")
 		n.env.Schedule(0, func() { ready(nil, false, ErrQueueFull) })
 		return
 	}
 	n.stats.QueuedWaits++
 	n.pubContainer(fn, obs.ContainerQueued)
+	n.pubTenantQueue(fn, w.tenant, "enqueue")
 	if opts.Deadline > 0 {
 		w.expire = n.env.At(opts.Deadline, func() { n.expireWaiter(fn, w) })
 	}
@@ -456,15 +720,12 @@ func (n *Node) expireWaiter(fn string, w *waiter) {
 	if p == nil {
 		return
 	}
-	for i, x := range p.waiting {
-		if x == w {
-			p.waiting = append(p.waiting[:i], p.waiting[i+1:]...)
-			w.expire = nil
-			n.stats.DeadlineAborts++
-			n.pubContainer(fn, obs.ContainerDeadline)
-			w.ready(nil, false, ErrDeadline)
-			return
-		}
+	if p.q.remove(w) {
+		w.expire = nil
+		n.stats.DeadlineAborts++
+		n.pubContainer(fn, obs.ContainerDeadline)
+		n.pubTenantQueue(fn, w.tenant, "deadline")
+		w.ready(nil, false, ErrDeadline)
 	}
 }
 
@@ -476,62 +737,72 @@ func (n *Node) expireWaiter(fn string, w *waiter) {
 // them — an ownership change while queued must not be rewarded with a
 // container. Called before any grant, so a fenced waiter never reaches
 // ready with a container.
-func (n *Node) dropFenced(p *fnPool) {
-	for len(p.waiting) > 0 {
-		w := p.waiting[0]
+func (n *Node) dropFenced(fn string, p *fnPool) {
+	for p.q.size > 0 {
+		w := p.q.peek()
 		if w.fence == nil || w.fence() == nil {
 			return
 		}
-		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+		p.q.remove(w)
 		w.serve()
 		n.stats.FencedAcquires++
+		n.pubTenantQueue(fn, w.tenant, "fence")
 		n.env.Schedule(0, func() { w.ready(nil, false, ErrFenced) })
 	}
 }
 
+// canGrant reports whether fn's pool can serve one more waiter right now:
+// a warm container is idle, or the scale limit and node memory leave room
+// for a new one.
+func (n *Node) canGrant(p *fnPool) bool {
+	return len(p.warm) > 0 ||
+		(p.total < n.cfg.PerFnLimit && n.memUsed+n.cfg.ContainerMem+n.reclaimed <= n.cfg.DRAM)
+}
+
+// grant hands w a container (the caller has checked canGrant and taken w
+// out of the queue, if it was ever in one): warm reuse when a container is
+// idle (LIFO, so the oldest idle containers keep aging toward eviction),
+// else a cold start.
+func (n *Node) grant(fn string, p *fnPool, w *waiter) {
+	w.serve()
+	if len(p.warm) > 0 {
+		c := p.warm[len(p.warm)-1]
+		p.warm = p.warm[:len(p.warm)-1]
+		c.idle = false
+		if c.expiry != nil {
+			c.expiry.Cancel()
+			c.expiry = nil
+		}
+		n.stats.WarmReuses++
+		n.pubContainer(fn, obs.ContainerWarmReuse)
+		n.pubTenantQueue(fn, w.tenant, "grant")
+		n.env.Schedule(0, func() { w.ready(c, false, nil) })
+		return
+	}
+	n.pubTenantQueue(fn, w.tenant, "grant")
+	p.total++
+	if p.total > p.peak {
+		p.peak = p.total
+	}
+	n.containers++
+	n.memUsed += n.cfg.ContainerMem
+	if n.memUsed > n.stats.PeakMem {
+		n.stats.PeakMem = n.memUsed
+	}
+	n.stats.ColdStarts++
+	n.pubContainer(fn, obs.ContainerColdStart)
+	c := &Container{Fn: fn, Node: n, id: p.nextID}
+	p.nextID++
+	n.live[c] = struct{}{}
+	n.env.Schedule(n.coldStartDelay(), func() { w.ready(c, true, nil) })
+}
+
 func (n *Node) pump(fn string, p *fnPool) {
-	for n.dropFenced(p); len(p.waiting) > 0; n.dropFenced(p) {
-		// Warm container available: reuse it (LIFO, so the oldest idle
-		// containers keep aging toward eviction).
-		if len(p.warm) > 0 {
-			c := p.warm[len(p.warm)-1]
-			p.warm = p.warm[:len(p.warm)-1]
-			c.idle = false
-			if c.expiry != nil {
-				c.expiry.Cancel()
-				c.expiry = nil
-			}
-			w := p.waiting[0]
-			p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
-			w.serve()
-			n.stats.WarmReuses++
-			n.pubContainer(fn, obs.ContainerWarmReuse)
-			n.env.Schedule(0, func() { w.ready(c, false, nil) })
-			continue
+	for n.dropFenced(fn, p); p.q.size > 0; n.dropFenced(fn, p) {
+		if !n.canGrant(p) {
+			return // saturated: wait for a release, destroy, or reclaim return
 		}
-		// Room to create a new container?
-		if p.total < n.cfg.PerFnLimit && n.memUsed+n.cfg.ContainerMem+n.reclaimed <= n.cfg.DRAM {
-			w := p.waiting[0]
-			p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
-			w.serve()
-			p.total++
-			if p.total > p.peak {
-				p.peak = p.total
-			}
-			n.containers++
-			n.memUsed += n.cfg.ContainerMem
-			if n.memUsed > n.stats.PeakMem {
-				n.stats.PeakMem = n.memUsed
-			}
-			n.stats.ColdStarts++
-			n.pubContainer(fn, obs.ContainerColdStart)
-			c := &Container{Fn: fn, Node: n, id: p.nextID}
-			p.nextID++
-			n.live[c] = struct{}{}
-			n.env.Schedule(n.coldStartDelay(), func() { w.ready(c, true, nil) })
-			continue
-		}
-		return // saturated: wait for a release, destroy, or reclaim return
+		n.grant(fn, p, p.q.pop())
 	}
 }
 
@@ -544,7 +815,7 @@ func (n *Node) pumpAll() {
 	}
 	fns := make([]string, 0, len(n.pools))
 	for fn, p := range n.pools {
-		if len(p.waiting) > 0 {
+		if p.q.size > 0 {
 			fns = append(fns, fn)
 		}
 	}
@@ -567,7 +838,7 @@ func (n *Node) Prewarm(fn string, count int) int {
 	for i := 0; i < count; i++ {
 		p := n.pools[fn]
 		if p == nil {
-			p = &fnPool{}
+			p = newFnPool(n)
 			n.pools[fn] = p
 		}
 		if p.total >= n.cfg.PerFnLimit || n.memUsed+n.cfg.ContainerMem+n.reclaimed > n.cfg.DRAM {
@@ -594,14 +865,14 @@ func (n *Node) Release(c *Container) {
 		return // lost to a node failure; slot and memory already reclaimed
 	}
 	p := n.pools[c.Fn]
-	n.dropFenced(p)
-	if len(p.waiting) > 0 {
-		next := p.waiting[0]
-		p.waiting = p.waiting[:copy(p.waiting, p.waiting[1:])]
+	n.dropFenced(c.Fn, p)
+	if p.q.size > 0 {
+		next := p.q.pop()
 		next.serve()
 		n.env.Schedule(0, func() { next.ready(c, false, nil) })
 		n.stats.WarmReuses++
 		n.pubContainer(c.Fn, obs.ContainerWarmReuse)
+		n.pubTenantQueue(c.Fn, next.tenant, "grant")
 		return
 	}
 	c.idle = true
@@ -703,8 +974,7 @@ func (n *Node) Fail() {
 		lost := p.total
 		p.warm = nil
 		p.total = 0
-		waiters := p.waiting
-		p.waiting = nil
+		waiters := p.q.drain()
 		n.containers -= lost
 		n.memUsed -= int64(lost) * n.cfg.ContainerMem
 		if lost > 0 {

@@ -46,6 +46,7 @@ func (d *Deployment) commitStep(inv *invocation, id dag.NodeID, attemptSeq int, 
 		Inv:        inv.id,
 		Step:       int(id),
 		AttemptSeq: attemptSeq,
+		Tenant:     inv.tenant,
 		Outputs:    outKeys,
 	}, func(sim.Time) {
 		if inv.abandoned {
@@ -167,6 +168,7 @@ func (d *Deployment) resumeInvocation(old *invocation, committed map[int]journal
 		start:     old.start,
 		args:      old.args,
 		deadline:  old.deadline,
+		tenant:    old.tenant,
 		predsDone: make([]int, d.g.Len()),
 		realIn:    make([]int, d.g.Len()),
 		started:   make([]bool, d.g.Len()),

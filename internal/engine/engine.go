@@ -534,6 +534,7 @@ type invocation struct {
 	start     sim.Time
 	args      expr.Env
 	deadline  sim.Time // absolute; 0 = none
+	tenant    string   // tenant attribution; "" = untenanted
 	failed    bool
 	deadlined bool
 	// abandoned marks an invocation orphaned by an engine crash: every
@@ -648,6 +649,10 @@ type InvokeOptions struct {
 	// the client has given up. The invocation still completes (promptly),
 	// with Failed and DeadlineExceeded set. 0 = no deadline.
 	Deadline sim.Time
+	// Tenant attributes the invocation to a tenant for weighted-fair
+	// container queueing, per-tenant observability, and federation handoff.
+	// "" = untenanted.
+	Tenant string
 }
 
 // InvokeOpts starts an invocation with per-invocation options.
@@ -674,6 +679,7 @@ func (d *Deployment) InvokeWithID(id int64, opts InvokeOptions, done func(Result
 		start:     d.rt.Env.Now(),
 		args:      env,
 		deadline:  opts.Deadline,
+		tenant:    opts.Tenant,
 		predsDone: make([]int, d.g.Len()),
 		realIn:    make([]int, d.g.Len()),
 		started:   make([]bool, d.g.Len()),

@@ -213,7 +213,7 @@ func (d *Deployment) prewarmStep(inv *invocation, id dag.NodeID) {
 		slot := &prewarmSlot{worker: worker}
 		set.slots = append(set.slots, slot)
 		d.prewarmIssued++
-		w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline}, func(c *cluster.Container, cold bool, err error) {
+		w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Tenant: inv.tenant}, func(c *cluster.Container, cold bool, err error) {
 			slot.delivered = true
 			slot.c, slot.err = c, err
 			if slot.cancelled || inv.abandoned {

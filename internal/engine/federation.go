@@ -101,6 +101,7 @@ type AdoptSpec struct {
 	Start    sim.Time
 	Args     map[string]any
 	Deadline sim.Time
+	Tenant   string
 	Done     func(Result)
 }
 
@@ -124,6 +125,7 @@ func (d *Deployment) AdoptInvocation(spec AdoptSpec, committed map[int]journal.E
 		start:    spec.Start,
 		args:     env,
 		deadline: spec.Deadline,
+		tenant:   spec.Tenant,
 		done:     spec.Done,
 		stepSeq:  make([]int, d.g.Len()),
 	}

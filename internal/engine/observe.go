@@ -117,6 +117,7 @@ func (d *Deployment) pubInvocation(inv *invocation, end bool) {
 		Workflow: d.bench.Name,
 		Inv:      inv.id,
 		Mode:     d.opts.Mode.String(),
+		Tenant:   inv.tenant,
 		End:      end,
 		Failed:   inv.failed,
 		At:       d.rt.Env.Now(),

@@ -227,7 +227,7 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 			// regress below feature-off behavior. The cancelled slot's
 			// container joins the pool when its cold start delivers.
 			d.cancelSlot(slot)
-			w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Fence: d.clusterFence(inv)}, acquired)
+			w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Fence: d.clusterFence(inv), Tenant: inv.tenant}, acquired)
 			return
 		}
 		acquirePhase = "prewarm"
@@ -243,7 +243,7 @@ func (d *Deployment) startAttempt(inv *invocation, id dag.NodeID, replica, attem
 		}
 		return
 	}
-	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Fence: d.clusterFence(inv)}, acquired)
+	w.AcquireOpts(node.Function, cluster.AcquireOptions{Deadline: inv.deadline, Fence: d.clusterFence(inv), Tenant: inv.tenant}, acquired)
 }
 
 // crashRetry re-runs an executor after an injected container crash. The

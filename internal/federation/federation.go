@@ -398,6 +398,7 @@ func (f *Federation) adopt(m *memberState, p *memberState, shards []int, byShard
 				Start:    st.start,
 				Args:     st.opts.Args,
 				Deadline: st.opts.Deadline,
+				Tenant:   st.opts.Tenant,
 				Done:     f.doneFor(st),
 			}, view.CommittedSteps(id))
 		}

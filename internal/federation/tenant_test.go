@@ -1,0 +1,52 @@
+package federation
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/sim"
+)
+
+// TestFailoverPreservesTenant kills the owner of tenant-attributed
+// invocations mid-flight: the steps the successor re-dispatches after the
+// journal handoff must commit under the same tenant label, so per-tenant
+// accounting survives engine failover.
+func TestFailoverPreservesTenant(t *testing.T) {
+	r := newFedRig(t, 3, 3, fastCfg())
+	fired := map[int64]int{}
+	for i := 0; i < 12; i++ {
+		id, err := r.fed.Invoke(engine.InvokeOptions{Tenant: "acme"}, nil)
+		if err != nil {
+			t.Fatalf("invoke %d rejected: %v", i, err)
+		}
+		inv := id
+		r.fed.invs[inv].done = func(engine.Result) { fired[inv]++ }
+	}
+	var at sim.Time
+	for r.fed.byID["e0"].jr.Stats().Committed == 0 {
+		at += sim.Time(50 * time.Millisecond)
+		r.env.RunUntil(at)
+		if at > sim.Time(10*time.Second) {
+			t.Fatal("e0 never committed a step")
+		}
+	}
+	r.fed.KillEngine("e0")
+	r.env.RunUntil(sim.Time(30 * time.Second))
+	checkExactlyOnce(t, fired, 12)
+	if r.fed.Stats().Adoptions == 0 {
+		t.Fatal("no failover happened")
+	}
+	commits := 0
+	for _, m := range r.fed.byID {
+		for _, en := range m.jr.Entries() {
+			commits++
+			if en.Tenant != "acme" {
+				t.Fatalf("member %s committed a record without the tenant: %+v", m.id, en.Record)
+			}
+		}
+	}
+	if commits == 0 {
+		t.Fatal("no commits observed")
+	}
+}

@@ -7,7 +7,10 @@
 //	GET  /workflows/{name}     placement, groups, locality
 //	POST /workflows/{name}/invoke  {"n", "ratePerMinute", "args"}   run
 //	                           (429 + Retry-After when admission rejects;
-//	                           503 + Retry-After mid federation handoff)
+//	                           503 + Retry-After mid federation handoff;
+//	                           the "Tenant" header attributes the session
+//	                           to a tenant for weighted-fair admission and
+//	                           queueing — see docs/TENANCY.md)
 //	GET  /workflows/{name}/journal committed step records (durable deploys)
 //	GET  /workflows/{name}/federation  lease/epoch/handoff counters
 //	POST /workflows/{name}/federation  {"op": kill|restart|stall|advance}
@@ -19,6 +22,7 @@
 //	GET  /workflows/{name}/explain[?n=N]  causal what-if profile, ranked
 //	GET  /benchmarks           the built-in paper workloads
 //	GET  /cluster              cumulative utilization counters
+//	GET  /tenants              per-tenant admission + queue breakdown
 //	GET  /utilization          per-resource occupancy timeline summaries
 //	GET  /metrics              Prometheus text exposition
 //
@@ -64,10 +68,15 @@ type Config struct {
 	AdmissionRatePerSec    float64
 	AdmissionBurst         float64
 	AdmissionMaxConcurrent int
+	// AdmissionTenants layers per-tenant weighted buckets and caps under
+	// the global limits and installs the weights for weighted-fair Acquire
+	// queueing. Requests name their tenant with the "Tenant" header on the
+	// invoke endpoint; GET /tenants serves the per-tenant breakdown.
+	AdmissionTenants map[string]faasflow.TenantConfig
 }
 
 func (c Config) admissionEnabled() bool {
-	return c.AdmissionRatePerSec > 0 || c.AdmissionMaxConcurrent > 0
+	return c.AdmissionRatePerSec > 0 || c.AdmissionMaxConcurrent > 0 || len(c.AdmissionTenants) > 0
 }
 
 // New builds a server with a fresh cluster.
@@ -92,6 +101,7 @@ func New(cfg Config) *Server {
 			RatePerSec:    cfg.AdmissionRatePerSec,
 			Burst:         cfg.AdmissionBurst,
 			MaxConcurrent: cfg.AdmissionMaxConcurrent,
+			Tenants:       cfg.AdmissionTenants,
 		}); err != nil {
 			panic(fmt.Sprintf("gateway: invalid admission config: %v", err))
 		}
@@ -114,6 +124,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/workflows/", s.handleWorkflow)
 	mux.HandleFunc("/benchmarks", s.handleBenchmarks)
 	mux.HandleFunc("/cluster", s.handleCluster)
+	mux.HandleFunc("/tenants", s.handleTenants)
 	mux.HandleFunc("/utilization", s.handleUtilization)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
@@ -346,7 +357,16 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 		}
 		// Admission gates the HTTP request as one workflow session: rejected
 		// requests get 429 + Retry-After without touching the simulation.
-		release, err := s.cluster.Admit(name)
+		// The Tenant header attributes the session to a tenant, gating it on
+		// the tenant's weighted slice of the limits as well.
+		tenant := r.Header.Get("Tenant")
+		var release func()
+		var err error
+		if tenant != "" {
+			release, err = s.cluster.AdmitTenant(name, tenant)
+		} else {
+			release, err = s.cluster.Admit(name)
+		}
 		if err != nil {
 			var oe *faasflow.OverloadError
 			if errors.As(err, &oe) {
@@ -383,7 +403,11 @@ func (s *Server) handleWorkflow(w http.ResponseWriter, r *http.Request) {
 			}
 			stats = st
 		case req.RatePerMinute > 0:
+			// Open-loop runs keep tenant attribution at the admission layer
+			// only; the per-invocation label rides on closed-loop runs.
 			stats = app.RunOpenLoop(req.RatePerMinute, req.N)
+		case tenant != "":
+			stats = app.RunOpts(faasflow.InvokeOptions{Args: req.Args, Tenant: tenant}, req.N)
 		case req.Args != nil:
 			stats = app.RunWithArgs(req.Args, req.N)
 		default:
@@ -609,6 +633,10 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		fs.ReissuesExhausted += st.ReissuesExhausted
 		exhausted = append(exhausted, st.Exhausted...)
 	}
+	tenantQueues := s.cluster.TenantQueueStats()
+	if tenantQueues == nil {
+		tenantQueues = []faasflow.TenantQueueStats{}
+	}
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"containers":     u.Containers,
@@ -618,6 +646,9 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		"networkBytes":   u.NetworkBytes,
 		"storeLocalHits": u.StoreLocalHits,
 		"storeRemoteOps": u.StoreRemoteOps,
+		// tenants carries the per-tenant Acquire-queue breakdown: how each
+		// tenant's requests fared at every node's weighted-fair queue.
+		"tenants": tenantQueues,
 		"failures": map[string]int64{
 			"crashes":           fs.Crashes,
 			"retries":           fs.Retries,
@@ -630,6 +661,30 @@ func (s *Server) handleCluster(w http.ResponseWriter, r *http.Request) {
 		// exhaustedSteps carries the typed record for every step that burned
 		// its whole re-issue budget: workflow, invocation, step, attempts.
 		"exhaustedSteps": exhausted,
+	})
+}
+
+// handleTenants serves the per-tenant view: admission counters (weights,
+// effective limits, decisions, live occupancy) joined with each tenant's
+// Acquire-queue counters across the worker nodes.
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		fail(w, &httpError{http.StatusMethodNotAllowed, "use GET"})
+		return
+	}
+	s.mu.Lock()
+	admission := s.cluster.TenantAdmissionStats()
+	queues := s.cluster.TenantQueueStats()
+	s.mu.Unlock()
+	if admission == nil {
+		admission = []faasflow.TenantAdmissionStats{}
+	}
+	if queues == nil {
+		queues = []faasflow.TenantQueueStats{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"admission": admission,
+		"queues":    queues,
 	})
 }
 

@@ -114,6 +114,19 @@ func (tb *Testbed) AttachBus(b *obs.Bus) {
 // Bus reports the currently attached bus (nil when detached).
 func (tb *Testbed) Bus() *obs.Bus { return tb.bus }
 
+// SetTenantWeights installs relative tenant weights for weighted-fair
+// Acquire queueing on every worker node (default 1 per tenant).
+func (tb *Testbed) SetTenantWeights(weights map[string]float64) {
+	ids := make([]string, 0, len(tb.Runtime.Nodes))
+	for id := range tb.Runtime.Nodes {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		tb.Runtime.Nodes[id].SetTenantWeights(weights)
+	}
+}
+
 // Engines reports every engine deployment made on this testbed, in
 // deployment order — fault injectors attach EngineDown targets through it.
 func (tb *Testbed) Engines() []*engine.Deployment {

@@ -30,6 +30,10 @@ type Record struct {
 	// AttemptSeq is the recovery-layer sequence number of the attempt
 	// that produced the outputs (see internal/engine/recovery.go).
 	AttemptSeq int `json:"attemptSeq"`
+	// Tenant attributes the invocation's records to a tenant so attribution
+	// survives crash replay and federation handoff. Omitted when empty, so
+	// untenanted journals are byte-identical to pre-tenancy ones.
+	Tenant string `json:"tenant,omitempty"`
 	// Outputs lists the store keys (output locations) the step wrote.
 	Outputs []string `json:"outputs,omitempty"`
 }

@@ -1,0 +1,28 @@
+package journal
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestUntenantedRecordMarshalsWithoutTenantKey pins the byte-compatibility
+// contract: records from untenanted invocations serialize exactly as they
+// did before the Tenant field existed, so pre-tenancy journals and
+// snapshots stay byte-identical.
+func TestUntenantedRecordMarshalsWithoutTenantKey(t *testing.T) {
+	data, err := json.Marshal(Record{Workflow: "wf", Inv: 1, Step: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "tenant") {
+		t.Fatalf("untenanted record leaks a tenant key: %s", data)
+	}
+	data, err = json.Marshal(Record{Workflow: "wf", Inv: 1, Step: 2, Tenant: "acme"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"tenant":"acme"`) {
+		t.Fatalf("tenanted record lost its tenant: %s", data)
+	}
+}

@@ -34,7 +34,12 @@ type Collector struct {
 	recoveries  *Counter
 	recoverySec *Histogram
 	admissions  *Counter
+	admRels     *Counter
 	liveWfs     *Gauge
+	tenantAdm   *Counter
+	tenantLive  *Gauge
+	tenantQueue *Counter
+	tenantDepth *Gauge
 	deadlines   *Counter
 	queueShed   *Counter
 	brkState    *Gauge
@@ -107,8 +112,18 @@ func NewCollector(reg *Registry) *Collector {
 			"Time from a failed attempt's start to its replacement attempt.", nil, "workflow", "reason"),
 		admissions: reg.Counter("faasflow_admission_total",
 			"Admission-control decisions.", "workflow", "decision", "reason"),
+		admRels: reg.Counter("faasflow_admission_releases_total",
+			"Admitted workflows that returned their concurrency slot.", "workflow"),
 		liveWfs: reg.Gauge("faasflow_admitted_workflows",
 			"Admitted workflows currently in flight."),
+		tenantAdm: reg.Counter("faasflow_tenant_admission_total",
+			"Admission-control decisions per tenant.", "tenant", "decision", "reason"),
+		tenantLive: reg.Gauge("faasflow_tenant_admitted_workflows",
+			"Admitted workflows currently in flight per tenant.", "tenant"),
+		tenantQueue: reg.Counter("faasflow_tenant_queue_events_total",
+			"Tenant-attributed Acquire queue transitions.", "tenant", "op"),
+		tenantDepth: reg.Gauge("faasflow_tenant_queue_depth",
+			"Queued acquisitions per node, function, and tenant.", "node", "function", "tenant"),
 		deadlines: reg.Counter("faasflow_deadline_exceeded_total",
 			"Work abandoned because the invocation deadline passed.", "workflow", "where"),
 		queueShed: reg.Counter("faasflow_queue_shed_total",
@@ -220,6 +235,19 @@ func (c *Collector) Handle(ev Event) {
 		}
 		c.admissions.Inc(e.Workflow, decision, e.Reason)
 		c.liveWfs.Set(float64(e.Live))
+		if e.Tenant != "" {
+			c.tenantAdm.Inc(e.Tenant, decision, e.Reason)
+			c.tenantLive.Set(float64(e.TenantLive), e.Tenant)
+		}
+	case AdmissionReleaseEvent:
+		c.admRels.Inc(e.Workflow)
+		c.liveWfs.Set(float64(e.Live))
+		if e.Tenant != "" {
+			c.tenantLive.Set(float64(e.TenantLive), e.Tenant)
+		}
+	case TenantQueueEvent:
+		c.tenantQueue.Inc(e.Tenant, e.Op)
+		c.tenantDepth.Set(float64(e.Queued), e.Node, e.Function, e.Tenant)
 	case DeadlineEvent:
 		c.deadlines.Inc(e.Workflow, e.Where)
 	case BreakerEvent:

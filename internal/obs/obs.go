@@ -240,6 +240,7 @@ type InvocationEvent struct {
 	Workflow string
 	Inv      int64
 	Mode     string // WorkerSP | MasterSP
+	Tenant   string // tenant attribution; "" = untenanted
 	End      bool
 	Failed   bool
 	At       sim.Time
@@ -543,18 +544,53 @@ func (e RecoveryEvent) When() sim.Time { return e.At }
 // Overload-control events.
 
 // AdmissionEvent records one admission-control decision: a workflow start
-// accepted or rejected by the token bucket or the concurrent-workflow cap.
+// accepted or rejected by the token bucket or the concurrent-workflow cap,
+// globally or by the requesting tenant's weighted slice of either.
 type AdmissionEvent struct {
 	Workflow   string
+	Tenant     string // tenant attribution; "" = untenanted
 	Admitted   bool
-	Reason     string        // "ok" | "rate" | "concurrency"
+	Reason     string        // "ok" | "rate" | "concurrency" | "tenant-rate" | "tenant-concurrency"
 	Live       int           // admitted workflows in flight after the decision
+	TenantLive int           // the tenant's admitted workflows in flight after the decision
 	RetryAfter time.Duration // suggested client backoff on rejection; 0 when admitted
 	At         sim.Time
 }
 
 func (e AdmissionEvent) Kind() string   { return "admission" }
 func (e AdmissionEvent) When() sim.Time { return e.At }
+
+// AdmissionReleaseEvent records one admitted workflow returning its
+// concurrency slot, closing the interval opened by the matching admitted
+// AdmissionEvent — occupancy timelines are reconstructible from the pair.
+type AdmissionReleaseEvent struct {
+	Workflow   string
+	Tenant     string        // tenant attribution; "" = untenanted
+	Live       int           // admitted workflows in flight after the release
+	TenantLive int           // the tenant's admitted workflows in flight after the release
+	Held       time.Duration // admit → release holding time
+	At         sim.Time
+}
+
+func (e AdmissionReleaseEvent) Kind() string   { return "admission-release" }
+func (e AdmissionReleaseEvent) When() sim.Time { return e.At }
+
+// TenantQueueEvent records a tenant-attributed transition in a node's
+// per-function Acquire queue: a waiter joining, being granted a container,
+// shed at admission to the queue, or withdrawn by deadline or fencing.
+// Published only for tenant-labelled waiters, so untenanted event streams
+// are unchanged.
+type TenantQueueEvent struct {
+	Node     string
+	Function string
+	Tenant   string
+	Op       string // "enqueue" | "grant" | "shed" | "deadline" | "fence"
+	Queued   int    // the tenant's queued waiters on the pool after the transition
+	At       sim.Time
+}
+
+func (e TenantQueueEvent) Kind() string   { return "tenant-queue" }
+func (e TenantQueueEvent) When() sim.Time { return e.At }
 
 // DeadlineEvent records work abandoned because its invocation deadline
 // passed: a step drained before triggering, a queued acquisition withdrawn,

@@ -18,6 +18,15 @@ func TestOverloadMetricFamiliesExposition(t *testing.T) {
 	c.Handle(AdmissionEvent{Workflow: "wf", Admitted: false, Reason: "rate", Live: 3,
 		RetryAfter: 50 * time.Millisecond})
 	c.Handle(AdmissionEvent{Workflow: "wf", Admitted: false, Reason: "concurrency", Live: 3})
+	c.Handle(AdmissionEvent{Workflow: "wf", Tenant: "acme", Admitted: true, Reason: "ok",
+		Live: 4, TenantLive: 2})
+	c.Handle(AdmissionEvent{Workflow: "wf", Tenant: "acme", Admitted: false, Reason: "tenant-rate",
+		Live: 4, TenantLive: 2, RetryAfter: 50 * time.Millisecond})
+	c.Handle(AdmissionReleaseEvent{Workflow: "wf", Tenant: "acme", Live: 4, TenantLive: 1,
+		Held: time.Second})
+	c.Handle(AdmissionReleaseEvent{Workflow: "wf", Live: 3, Held: time.Second})
+	c.Handle(TenantQueueEvent{Node: "w0", Function: "f", Tenant: "acme", Op: "enqueue", Queued: 2})
+	c.Handle(TenantQueueEvent{Node: "w0", Function: "f", Tenant: "acme", Op: "grant", Queued: 1})
 	c.Handle(DeadlineEvent{Workflow: "wf", Inv: 1, Node: 2, Name: "b", Where: "acquire"})
 	c.Handle(DeadlineEvent{Workflow: "wf", Inv: 2, Node: -1, Where: "trigger"})
 	c.Handle(ContainerEvent{Node: "w0", Function: "f", Op: ContainerShed})
@@ -27,11 +36,24 @@ func TestOverloadMetricFamiliesExposition(t *testing.T) {
 	out := reg.String()
 	for _, want := range []string{
 		"# TYPE faasflow_admission_total counter",
-		`faasflow_admission_total{workflow="wf",decision="admitted",reason="ok"} 1`,
+		`faasflow_admission_total{workflow="wf",decision="admitted",reason="ok"} 2`,
 		`faasflow_admission_total{workflow="wf",decision="rejected",reason="rate"} 1`,
 		`faasflow_admission_total{workflow="wf",decision="rejected",reason="concurrency"} 1`,
+		`faasflow_admission_total{workflow="wf",decision="rejected",reason="tenant-rate"} 1`,
 		"# TYPE faasflow_admitted_workflows gauge",
 		"faasflow_admitted_workflows 3",
+		"# TYPE faasflow_admission_releases_total counter",
+		`faasflow_admission_releases_total{workflow="wf"} 2`,
+		"# TYPE faasflow_tenant_admission_total counter",
+		`faasflow_tenant_admission_total{tenant="acme",decision="admitted",reason="ok"} 1`,
+		`faasflow_tenant_admission_total{tenant="acme",decision="rejected",reason="tenant-rate"} 1`,
+		"# TYPE faasflow_tenant_admitted_workflows gauge",
+		`faasflow_tenant_admitted_workflows{tenant="acme"} 1`,
+		"# TYPE faasflow_tenant_queue_events_total counter",
+		`faasflow_tenant_queue_events_total{tenant="acme",op="enqueue"} 1`,
+		`faasflow_tenant_queue_events_total{tenant="acme",op="grant"} 1`,
+		"# TYPE faasflow_tenant_queue_depth gauge",
+		`faasflow_tenant_queue_depth{node="w0",function="f",tenant="acme"} 1`,
 		"# TYPE faasflow_deadline_exceeded_total counter",
 		`faasflow_deadline_exceeded_total{workflow="wf",where="acquire"} 1`,
 		`faasflow_deadline_exceeded_total{workflow="wf",where="trigger"} 1`,
